@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id fig6 [-quick] [-seed 42] [-csv out/]
+//	experiments -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/serverless-sched/sfs/internal/experiments"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "experiment ID to run (e.g. fig6, table2)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment IDs")
+		quick = flag.Bool("quick", false, "reduced scale for a fast pass")
+		seed  = flag.Uint64("seed", 42, "RNG seed")
+		csv   = flag.String("csv", "", "directory to write per-experiment CSV files")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	var toRun []experiments.Experiment
+	switch {
+	case *all:
+		toRun = experiments.All()
+	case *id != "":
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *id)
+			os.Exit(1)
+		}
+		toRun = []experiments.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -id, -all, or -list")
+		os.Exit(1)
+	}
+
+	for _, e := range toRun {
+		rep := e.Run(cfg)
+		fmt.Println(rep.Render())
+		if *csv != "" {
+			if err := os.MkdirAll(*csv, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csv, rep.ID+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command faasbench generates and inspects FaaS workloads modeled after
+// the Azure Functions traces (the paper's FaaSBench, §VII).
+//
+// Examples:
+//
+//	faasbench -n 10000 -cores 16 -load 0.8                # summarize
+//	faasbench -n 10000 -arrivals trace -spikes 5          # bursty trace
+//	faasbench -n 1000 -emit                               # CSV to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/stats"
+	"github.com/serverless-sched/sfs/internal/workload"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 10000, "number of invocations")
+		cores      = flag.Int("cores", 16, "cores the load is calibrated for")
+		load       = flag.Float64("load", 0.8, "offered CPU load fraction")
+		arrivals   = flag.String("arrivals", "poisson", "arrival process: poisson or trace")
+		seed       = flag.Uint64("seed", 42, "RNG seed")
+		ioFraction = flag.Float64("io-fraction", 0, "fraction of requests with a leading I/O op")
+		spikes     = flag.Int("spikes", 0, "overload spikes to inject (trace arrivals only)")
+		mix        = flag.Bool("mix", false, "use the fib/md/sa application mix instead of pure fib")
+		emit       = flag.Bool("emit", false, "emit the workload as CSV instead of a summary")
+		save       = flag.String("save", "", "write the workload to a CSV file replayable by sfs-sim -workload")
+	)
+	flag.Parse()
+
+	var apps []workload.AppChoice
+	if *mix {
+		apps = []workload.AppChoice{
+			{Profile: workload.AppFib, Weight: 0.5},
+			{Profile: workload.AppMd, Weight: 0.25},
+			{Profile: workload.AppSa, Weight: 0.25},
+		}
+	}
+
+	var w *workload.Workload
+	switch *arrivals {
+	case "poisson":
+		w = workload.Generate(workload.Spec{
+			N: *n, Cores: *cores, Load: *load, Seed: *seed,
+			IOFraction: *ioFraction, Apps: apps,
+		})
+	case "trace":
+		w = workload.AzureSampled(workload.AzureSampledSpec{
+			N: *n, Cores: *cores, Load: *load, Seed: *seed,
+			IOFraction: *ioFraction, Apps: apps, Spikes: *spikes,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown arrival process %q\n", *arrivals)
+		os.Exit(1)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := workload.WriteCSV(f, w.Tasks); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d tasks to %s\n", len(w.Tasks), *save)
+		return
+	}
+
+	if *emit {
+		fmt.Println("id,app,arrival_ms,service_ms,io_ops,io_total_ms")
+		for _, t := range w.Tasks {
+			fmt.Printf("%d,%s,%.3f,%.3f,%d,%.3f\n",
+				t.ID, t.App,
+				float64(t.Arrival)/float64(time.Millisecond),
+				float64(t.Service)/float64(time.Millisecond),
+				len(t.IOOps),
+				float64(t.TotalIO())/float64(time.Millisecond))
+		}
+		return
+	}
+
+	fmt.Printf("workload: %s\n", w.Description)
+	fmt.Printf("requests: %d, mean service %v, mean IAT %v, offered load on %d cores: %.3f\n",
+		len(w.Tasks), w.MeanService, w.MeanIAT, *cores, w.OfferedLoad(*cores))
+
+	var durs []time.Duration
+	byApp := map[string]int{}
+	withIO := 0
+	for _, t := range w.Tasks {
+		durs = append(durs, t.IdealDuration())
+		byApp[t.App]++
+		if len(t.IOOps) > 0 {
+			withIO++
+		}
+	}
+	ps := stats.DurationPercentiles(durs, []float64{50, 90, 99, 99.9})
+	fmt.Printf("ideal duration percentiles: p50=%v p90=%v p99=%v p99.9=%v\n", ps[0], ps[1], ps[2], ps[3])
+	fmt.Printf("apps: %v; %d requests carry I/O ops\n", byApp, withIO)
+
+	fmt.Println("\nTable I check (generated fraction per duration range):")
+	for _, row := range workload.TableI() {
+		lo, hi := row.Lo, row.Hi
+		count := 0
+		for _, d := range durs {
+			if d >= lo && (hi == 0 || d < hi) {
+				count++
+			}
+		}
+		rangeStr := fmt.Sprintf("%8v - %8v", lo, hi)
+		if hi == 0 {
+			rangeStr = fmt.Sprintf(">= %v      ", lo)
+		}
+		fmt.Printf("  %s  paper %5.1f%%  generated %5.1f%%\n",
+			rangeStr, row.Probability*100, 100*float64(count)/float64(len(durs)))
+	}
+}

@@ -1,0 +1,147 @@
+// Command sfs-sim runs a single scheduler × workload simulation and
+// prints the paper's metrics: duration percentiles, RTE distribution,
+// context switches, and (for SFS) scheduler-internal statistics.
+//
+// Examples:
+//
+//	sfs-sim -sched SFS -n 10000 -cores 16 -load 1.0
+//	sfs-sim -sched CFS -n 10000 -cores 16 -load 0.8 -arrivals trace
+//	sfs-sim -sched SFS -fixed-slice 100ms -io-fraction 0.75
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/core"
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/stats"
+	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/workload"
+)
+
+func main() {
+	var (
+		schedName  = flag.String("sched", "SFS", "scheduler: SFS, CFS, FIFO, RR, SRTF, IDEAL")
+		n          = flag.Int("n", 10000, "number of function invocations")
+		cores      = flag.Int("cores", 16, "CPU cores")
+		load       = flag.Float64("load", 1.0, "offered CPU load fraction")
+		arrivals   = flag.String("arrivals", "poisson", "arrival process: poisson or trace")
+		seed       = flag.Uint64("seed", 42, "RNG seed")
+		fixedSlice = flag.Duration("fixed-slice", 0, "pin the SFS time slice (0 = adaptive)")
+		poll       = flag.Duration("poll", 4*time.Millisecond, "SFS kernel-status polling interval")
+		noHybrid   = flag.Bool("no-hybrid", false, "disable SFS overload fallback")
+		noIO       = flag.Bool("io-oblivious", false, "disable SFS I/O-aware polling")
+		ioFraction = flag.Float64("io-fraction", 0, "fraction of requests with one leading 10-100ms I/O op")
+		wlFile     = flag.String("workload", "", "replay a workload CSV (see cmd/faasbench -save) instead of generating one")
+	)
+	flag.Parse()
+
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tasks, err := workload.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runReplay(tasks, *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO)
+		return
+	}
+
+	var w *workload.Workload
+	switch *arrivals {
+	case "poisson":
+		w = workload.Generate(workload.Spec{
+			N: *n, Cores: *cores, Load: *load, Seed: *seed, IOFraction: *ioFraction,
+		})
+	case "trace":
+		w = workload.AzureSampled(workload.AzureSampledSpec{
+			N: *n, Cores: *cores, Load: *load, Seed: *seed, IOFraction: *ioFraction,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown arrival process %q\n", *arrivals)
+		os.Exit(1)
+	}
+	fmt.Printf("workload: %s (mean service %v, mean IAT %v, offered load %.2f)\n",
+		w.Description, w.MeanService, w.MeanIAT, w.OfferedLoad(*cores))
+
+	runReplay(w.Clone(), *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO)
+}
+
+// runReplay simulates tasks under the named scheduler and reports.
+func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll time.Duration, noHybrid, noIO bool) {
+	var sfs *core.SFS
+	var s cpusim.Scheduler
+	switch strings.ToUpper(schedName) {
+	case "SFS":
+		cfg := core.DefaultConfig()
+		cfg.FixedSlice = fixedSlice
+		cfg.PollInterval = poll
+		cfg.Hybrid = !noHybrid
+		cfg.IOAware = !noIO
+		sfs = core.New(cfg)
+		s = sfs
+	case "CFS":
+		s = sched.NewCFS(sched.CFSConfig{})
+	case "EEVDF":
+		s = sched.NewEEVDF(sched.EEVDFConfig{})
+	case "FIFO":
+		s = sched.NewFIFO()
+	case "RR":
+		s = sched.NewRR(0)
+	case "SRTF":
+		s = sched.NewSRTF()
+	case "COREGRANULAR":
+		s = sched.NewCoreGranular()
+	case "LOTTERY":
+		s = sched.NewLottery(0, 1)
+	case "IDEAL":
+		sched.RunIdeal(tasks)
+		report(metrics.Run{Scheduler: "IDEAL", Tasks: tasks}, nil, 0, nil)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", schedName)
+		os.Exit(1)
+	}
+
+	eng := cpusim.NewEngine(cpusim.Config{Cores: cores, Deadline: 10000 * time.Hour}, s)
+	eng.Submit(tasks...)
+	start := time.Now()
+	makespan := eng.Run()
+	fmt.Printf("simulated %v of virtual time in %v wall time (%d ctx switches, %.0f%% utilization)\n",
+		makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
+		eng.TotalCtxSwitches, eng.Utilization()*100)
+	report(metrics.Run{Scheduler: s.Name(), Tasks: tasks}, eng, makespan, sfs)
+}
+
+func report(r metrics.Run, eng *cpusim.Engine, makespan time.Duration, sfs *core.SFS) {
+	ps := r.Percentiles(metrics.StandardPercentiles)
+	header := []string{"metric"}
+	row := []string{r.Scheduler}
+	for i, p := range metrics.StandardPercentiles {
+		header = append(header, fmt.Sprintf("p%g", p))
+		row = append(row, metrics.FormatDuration(ps[i]))
+	}
+	fmt.Print(metrics.Table(header, [][]string{row}))
+	fmt.Printf("mean turnaround: %s\n", metrics.FormatDuration(r.MeanTurnaround()))
+	for _, bound := range []float64{0.5, 0.8, 0.95} {
+		fmt.Printf("RTE >= %.2f: %.1f%% of requests\n", bound, 100*r.FractionRTEAtLeast(bound))
+	}
+	rtes := r.RTEs()
+	fmt.Printf("RTE < 0.2: %.1f%% of requests\n", 100*stats.FractionBelow(rtes, 0.2))
+	if sfs != nil {
+		fmt.Printf("SFS: S=%v, %d requests, %d FILTER completions, %d demotions, %d overload-routed\n",
+			sfs.Slice(), sfs.Stat.Requests, sfs.Stat.FilterCompletions,
+			sfs.Stat.Demotions, sfs.Stat.OverloadRouted)
+	}
+}

@@ -1,0 +1,26 @@
+// Package sfs is a full reproduction of "SFS: Smart OS Scheduling for
+// Serverless Functions" (Fu, Liu, Wang, Cheng, Chen — SC '22,
+// arXiv:2209.01709).
+//
+// The module builds, from scratch and on the standard library only,
+// every system the paper describes or depends on:
+//
+//   - a deterministic discrete-event multicore CPU simulator with
+//     faithful models of Linux CFS, SCHED_FIFO, and SCHED_RR plus the
+//     SRTF oracle and IDEAL baselines (internal/cpusim, internal/sched);
+//   - SFS itself — the two-level FILTER+CFS user-space scheduler with
+//     dynamic time slices, I/O polling, and hybrid overload handling
+//     (internal/core);
+//   - FaaSBench, the Azure-trace-modeled workload generator
+//     (internal/workload, internal/azure);
+//   - an OpenLambda-like FaaS platform simulation (internal/faas);
+//   - a real-time goroutine implementation of the SFS architecture
+//     (internal/live);
+//   - an experiment harness that regenerates every table and figure of
+//     the paper's evaluation (internal/experiments).
+//
+// The root package holds the benchmark harness: one testing.B benchmark
+// per paper table/figure (bench_test.go). See README.md for a tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package sfs

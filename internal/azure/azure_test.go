@@ -1,0 +1,151 @@
+package azure
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/stats"
+)
+
+func TestSynthesizeDeterminism(t *testing.T) {
+	a := Synthesize(500, 1)
+	b := Synthesize(500, 1)
+	for i := range a.Apps {
+		if a.Apps[i].AvgDuration != b.Apps[i].AvgDuration || a.Apps[i].Invocations != b.Apps[i].Invocations {
+			t.Fatalf("same-seed traces diverge at app %d", i)
+		}
+	}
+}
+
+// TestFig1Anchors checks the synthetic duration population against the
+// paper's Fig 1 / §IV-A anchors: ~37.2% < 300 ms, ~57.2% < 1 s, ~99.9%
+// < 224 s, spanning several orders of magnitude.
+func TestFig1Anchors(t *testing.T) {
+	tr := Synthesize(50000, 2)
+	ds := tr.AvgDurations()
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	anchors := []struct {
+		bound time.Duration
+		want  float64
+		tol   float64
+	}{
+		{300 * time.Millisecond, 0.372, 0.04},
+		{1 * time.Second, 0.572, 0.04},
+		{224 * time.Second, 0.999, 0.005},
+	}
+	for _, a := range anchors {
+		got := stats.FractionBelow(xs, float64(a.bound))
+		if got < a.want-a.tol || got > a.want+a.tol {
+			t.Errorf("fraction < %v: %.3f, want %.3f±%.3f", a.bound, got, a.want, a.tol)
+		}
+	}
+	// Seven orders of magnitude: from ~ms to >100s.
+	min, max := ds[0], ds[0]
+	for _, d := range ds {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min > 10*time.Millisecond {
+		t.Errorf("min duration %v too large", min)
+	}
+	if max < 100*time.Second {
+		t.Errorf("max duration %v too small", max)
+	}
+}
+
+func TestInvocationSkew(t *testing.T) {
+	tr := Synthesize(10000, 3)
+	total := 0
+	counts := make([]int, 0, len(tr.Apps))
+	for _, a := range tr.Apps {
+		total += a.Invocations
+		counts = append(counts, a.Invocations)
+	}
+	// Top 1% of apps should carry a disproportionate share (heavy skew).
+	top := 0
+	for _, c := range counts {
+		if c > 10000 {
+			top += c
+		}
+	}
+	if float64(top)/float64(total) < 0.2 {
+		t.Errorf("hot apps carry only %.2f of invocations; expected heavy skew", float64(top)/float64(total))
+	}
+}
+
+func TestSampleHotApps(t *testing.T) {
+	tr := Synthesize(5000, 4)
+	hot := tr.SampleHotApps(100, 200, 5)
+	if len(hot) == 0 {
+		t.Fatal("no hot apps found")
+	}
+	if len(hot) > 100 {
+		t.Fatalf("returned %d apps, want <= 100", len(hot))
+	}
+	for _, a := range hot {
+		if a.Invocations < 200 {
+			t.Fatalf("app %d has %d invocations, below threshold", a.ID, a.Invocations)
+		}
+	}
+	// Deterministic per seed.
+	hot2 := tr.SampleHotApps(100, 200, 5)
+	for i := range hot {
+		if hot[i].ID != hot2[i].ID {
+			t.Fatal("hot-app sampling not deterministic")
+		}
+	}
+}
+
+func TestIATTraceProperties(t *testing.T) {
+	tr := Synthesize(5000, 6)
+	hot := tr.SampleHotApps(100, 200, 7)
+	const n = 5000
+	meanIAT := 10 * time.Millisecond
+	iats := tr.IATTrace(hot, n, meanIAT, 8)
+	if len(iats) < n/2 {
+		t.Fatalf("trace too short: %d", len(iats))
+	}
+	var sum time.Duration
+	for _, d := range iats {
+		if d < 0 {
+			t.Fatal("negative IAT")
+		}
+		sum += d
+	}
+	got := sum / time.Duration(len(iats))
+	// The realized mean should be within 2x of the request (bursts and
+	// truncation distort it but not wildly).
+	if got > 2*meanIAT || got < meanIAT/2 {
+		t.Fatalf("realized mean IAT %v, requested %v", got, meanIAT)
+	}
+	// The merged trace of ~100 staggered apps is near-Poisson in the
+	// aggregate (per-app burst episodes largely wash out); the explicit
+	// overload spikes for Fig 12 are injected by workload.AddSpikes on
+	// top. Check the aggregate is neither degenerate nor wildly more
+	// regular than Poisson.
+	var o stats.Online
+	for _, d := range iats {
+		o.Add(float64(d))
+	}
+	cv2 := o.Var() / (o.Mean() * o.Mean())
+	if cv2 < 0.6 || cv2 > 20 {
+		t.Errorf("IAT CV^2 = %.2f outside plausible range", cv2)
+	}
+}
+
+func TestIATTraceEmptyInputs(t *testing.T) {
+	tr := Synthesize(100, 9)
+	if got := tr.IATTrace(nil, 100, time.Millisecond, 1); got != nil {
+		t.Fatal("nil apps should produce nil trace")
+	}
+	if got := tr.IATTrace(tr.Apps[:1], 0, time.Millisecond, 1); got != nil {
+		t.Fatal("zero n should produce nil trace")
+	}
+}

@@ -1,0 +1,227 @@
+package azure
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// This file parses the real Azure Functions 2019 trace release (Shahrad
+// et al., ATC '20) so that users with access to the dataset can replay
+// the paper's exact inputs instead of the synthetic stand-in.
+//
+// Two of the dataset's file schemas are supported:
+//
+//   - function_durations_percentiles.anon.dNN.csv:
+//     HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,
+//     percentile_Average_0,...,percentile_Average_100   (milliseconds)
+//   - invocations_per_function_md.anon.dNN.csv:
+//     HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440 (per-minute counts)
+
+// DurationRow is one function's duration statistics from the dataset.
+type DurationRow struct {
+	Owner, App, Function string
+	Average              time.Duration
+	Count                int
+	Minimum, Maximum     time.Duration
+	P50                  time.Duration // percentile_Average_50 when present
+}
+
+// InvocationRow is one function's per-minute invocation counts.
+type InvocationRow struct {
+	Owner, App, Function string
+	Trigger              string
+	PerMinute            []int // up to 1440 entries
+	Total                int
+}
+
+// msField parses a millisecond-valued CSV field into a duration.
+func msField(s string) (time.Duration, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(v * float64(time.Millisecond)), nil
+}
+
+// LoadDurations parses a function_durations_percentiles CSV stream.
+// Unknown extra columns are ignored; rows with unparsable core fields
+// are rejected with a row-numbered error.
+func LoadDurations(r io.Reader) ([]DurationRow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("azure: reading duration header: %w", err)
+	}
+	col := indexColumns(header)
+	for _, need := range []string{"HashOwner", "HashApp", "HashFunction", "Average", "Count", "Minimum", "Maximum"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("azure: duration file missing column %q", need)
+		}
+	}
+	p50Col, hasP50 := col["percentile_Average_50"]
+
+	var rows []DurationRow
+	for i := 1; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("azure: duration row %d: %w", i, err)
+		}
+		row := DurationRow{
+			Owner:    rec[col["HashOwner"]],
+			App:      rec[col["HashApp"]],
+			Function: rec[col["HashFunction"]],
+		}
+		if row.Average, err = msField(rec[col["Average"]]); err != nil {
+			return nil, fmt.Errorf("azure: duration row %d: bad Average: %w", i, err)
+		}
+		if row.Count, err = strconv.Atoi(rec[col["Count"]]); err != nil {
+			return nil, fmt.Errorf("azure: duration row %d: bad Count: %w", i, err)
+		}
+		if row.Minimum, err = msField(rec[col["Minimum"]]); err != nil {
+			return nil, fmt.Errorf("azure: duration row %d: bad Minimum: %w", i, err)
+		}
+		if row.Maximum, err = msField(rec[col["Maximum"]]); err != nil {
+			return nil, fmt.Errorf("azure: duration row %d: bad Maximum: %w", i, err)
+		}
+		if hasP50 && p50Col < len(rec) {
+			if p50, err := msField(rec[p50Col]); err == nil {
+				row.P50 = p50
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// LoadInvocations parses an invocations_per_function CSV stream.
+func LoadInvocations(r io.Reader) ([]InvocationRow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("azure: reading invocation header: %w", err)
+	}
+	col := indexColumns(header)
+	for _, need := range []string{"HashOwner", "HashApp", "HashFunction"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("azure: invocation file missing column %q", need)
+		}
+	}
+	// Minute columns are the ones whose header is a plain integer.
+	type minuteCol struct{ header, idx int }
+	var minutes []minuteCol
+	for i, h := range header {
+		if m, err := strconv.Atoi(h); err == nil && m >= 1 {
+			minutes = append(minutes, minuteCol{header: m, idx: i})
+		}
+	}
+	triggerCol, hasTrigger := col["Trigger"]
+
+	var rows []InvocationRow
+	for i := 1; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("azure: invocation row %d: %w", i, err)
+		}
+		row := InvocationRow{
+			Owner:    rec[col["HashOwner"]],
+			App:      rec[col["HashApp"]],
+			Function: rec[col["HashFunction"]],
+		}
+		if hasTrigger && triggerCol < len(rec) {
+			row.Trigger = rec[triggerCol]
+		}
+		row.PerMinute = make([]int, 0, len(minutes))
+		for _, mc := range minutes {
+			if mc.idx >= len(rec) {
+				break
+			}
+			v, err := strconv.Atoi(rec[mc.idx])
+			if err != nil {
+				return nil, fmt.Errorf("azure: invocation row %d: bad minute %d: %w", i, mc.header, err)
+			}
+			row.PerMinute = append(row.PerMinute, v)
+			row.Total += v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func indexColumns(header []string) map[string]int {
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[h] = i
+	}
+	return col
+}
+
+// FromDataset assembles a Trace from parsed duration and invocation
+// rows, joined on (owner, app, function). Functions present in only one
+// file are kept with the fields that are known; the paper's workload
+// generation (median durations, Day-1 invocation counts) needs both.
+func FromDataset(durations []DurationRow, invocations []InvocationRow) *Trace {
+	type key struct{ o, a, f string }
+	inv := make(map[key]*InvocationRow, len(invocations))
+	for i := range invocations {
+		r := &invocations[i]
+		inv[key{r.Owner, r.App, r.Function}] = r
+	}
+	tr := &Trace{}
+	for i, d := range durations {
+		avg := d.Average
+		if d.P50 > 0 {
+			// The paper takes the median as the expected execution time
+			// to rule out outliers (§VII).
+			avg = d.P50
+		}
+		app := App{
+			ID:          i,
+			AvgDuration: avg,
+			MinDuration: d.Minimum,
+			MaxDuration: d.Maximum,
+			Invocations: d.Count,
+		}
+		if r, ok := inv[key{d.Owner, d.App, d.Function}]; ok {
+			app.Invocations = r.Total
+			app.Bursty = burstyFromMinutes(r.PerMinute)
+		}
+		tr.Apps = append(tr.Apps, app)
+	}
+	return tr
+}
+
+// burstyFromMinutes classifies an invocation profile as bursty when its
+// per-minute counts have a peak-to-mean ratio above 8 — transient
+// concurrency spikes in the sense of §V-E.
+func burstyFromMinutes(perMin []int) bool {
+	if len(perMin) == 0 {
+		return false
+	}
+	sum, max := 0, 0
+	active := 0
+	for _, v := range perMin {
+		sum += v
+		if v > max {
+			max = v
+		}
+		if v > 0 {
+			active++
+		}
+	}
+	if sum == 0 || active == 0 {
+		return false
+	}
+	mean := float64(sum) / float64(len(perMin))
+	return float64(max) > 8*mean
+}

@@ -1,0 +1,142 @@
+package azure
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const durationCSV = `HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,percentile_Average_0,percentile_Average_1,percentile_Average_25,percentile_Average_50,percentile_Average_75,percentile_Average_99,percentile_Average_100
+o1,a1,f1,120.5,300,10,900,10,12,80,100,150,800,900
+o1,a1,f2,35.0,1200,1,90,1,2,20,30,45,85,90
+o2,a2,f3,5000,15,2000,20000,2000,2100,3000,4500,6000,19000,20000
+`
+
+const invocationCSV = `HashOwner,HashApp,HashFunction,Trigger,1,2,3,4,5,6,7,8,9,10,11,12
+o1,a1,f1,http,10,12,9,11,10,11,9,10,12,10,9,11
+o1,a1,f2,queue,0,0,500,0,1,0,0,0,0,0,0,0
+o9,a9,f9,timer,1,1,1,1,1,1,1,1,1,1,1,1
+`
+
+func TestLoadDurations(t *testing.T) {
+	rows, err := LoadDurations(strings.NewReader(durationCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Owner != "o1" || r.App != "a1" || r.Function != "f1" {
+		t.Fatalf("keys %+v", r)
+	}
+	if r.Average != 120500*time.Microsecond {
+		t.Fatalf("average %v", r.Average)
+	}
+	if r.Count != 300 {
+		t.Fatalf("count %d", r.Count)
+	}
+	if r.Minimum != 10*time.Millisecond || r.Maximum != 900*time.Millisecond {
+		t.Fatalf("min/max %v/%v", r.Minimum, r.Maximum)
+	}
+	if r.P50 != 100*time.Millisecond {
+		t.Fatalf("p50 %v", r.P50)
+	}
+}
+
+func TestLoadDurationsErrors(t *testing.T) {
+	if _, err := LoadDurations(strings.NewReader("HashOwner,HashApp\no,a\n")); err == nil {
+		t.Fatal("missing columns accepted")
+	}
+	bad := "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\no,a,f,notanumber,1,1,1\n"
+	if _, err := LoadDurations(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad Average accepted")
+	}
+}
+
+func TestLoadInvocations(t *testing.T) {
+	rows, err := LoadInvocations(strings.NewReader(invocationCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Total != 124 {
+		t.Fatalf("f1 total %d", rows[0].Total)
+	}
+	if rows[0].Trigger != "http" {
+		t.Fatalf("trigger %q", rows[0].Trigger)
+	}
+	if len(rows[0].PerMinute) != 12 {
+		t.Fatalf("minutes %d", len(rows[0].PerMinute))
+	}
+	if rows[1].Total != 501 {
+		t.Fatalf("f2 total %d", rows[1].Total)
+	}
+}
+
+func TestFromDatasetJoin(t *testing.T) {
+	durations, err := LoadDurations(strings.NewReader(durationCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invocations, err := LoadInvocations(strings.NewReader(invocationCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := FromDataset(durations, invocations)
+	if len(tr.Apps) != 3 {
+		t.Fatalf("apps %d", len(tr.Apps))
+	}
+	// f1: joined; median used as expected duration; counts from the
+	// invocation file.
+	if tr.Apps[0].AvgDuration != 100*time.Millisecond {
+		t.Fatalf("f1 avg %v (want the median)", tr.Apps[0].AvgDuration)
+	}
+	if tr.Apps[0].Invocations != 124 {
+		t.Fatalf("f1 invocations %d", tr.Apps[0].Invocations)
+	}
+	if tr.Apps[0].Bursty {
+		t.Fatal("f1 steady profile classified bursty")
+	}
+	// f2: 500 of 501 invocations in one minute — clearly bursty.
+	if !tr.Apps[1].Bursty {
+		t.Fatal("f2 spike profile not classified bursty")
+	}
+	// f3: no invocation row; falls back to the duration file's count.
+	if tr.Apps[2].Invocations != 15 {
+		t.Fatalf("f3 invocations %d", tr.Apps[2].Invocations)
+	}
+}
+
+func TestFromDatasetFeedsWorkloadPipeline(t *testing.T) {
+	durations, _ := LoadDurations(strings.NewReader(durationCSV))
+	invocations, _ := LoadInvocations(strings.NewReader(invocationCSV))
+	tr := FromDataset(durations, invocations)
+	// The loaded trace must work with the same APIs the synthetic one
+	// does.
+	hot := tr.SampleHotApps(10, 50, 1)
+	if len(hot) == 0 {
+		t.Fatal("no hot apps in loaded dataset")
+	}
+	iats := tr.IATTrace(hot, 200, 10*time.Millisecond, 2)
+	if len(iats) == 0 {
+		t.Fatal("no IATs generated from loaded dataset")
+	}
+}
+
+func TestBurstyFromMinutes(t *testing.T) {
+	if burstyFromMinutes(nil) {
+		t.Fatal("empty profile bursty")
+	}
+	if burstyFromMinutes([]int{5, 5, 5, 5}) {
+		t.Fatal("flat profile bursty")
+	}
+	if !burstyFromMinutes([]int{0, 0, 100, 0, 0, 0, 0, 0, 0, 0}) {
+		t.Fatal("spike profile not bursty")
+	}
+	if burstyFromMinutes([]int{0, 0, 0}) {
+		t.Fatal("all-zero profile bursty")
+	}
+}

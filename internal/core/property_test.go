@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/core"
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// randomTasks builds a random workload with optional I/O from a seed.
+func randomTasks(seed uint64, nRaw uint8) []*task.Task {
+	r := rng.New(seed)
+	n := int(nRaw%50) + 5
+	var tasks []*task.Task
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		svc := time.Duration(1+r.Intn(300)) * time.Millisecond
+		tk := task.New(i, at, svc)
+		if r.Float64() < 0.4 {
+			off := time.Duration(r.Int63n(int64(svc) + 1))
+			tk.WithIO(off, time.Duration(r.Intn(60))*time.Millisecond)
+		}
+		tasks = append(tasks, tk)
+		at += time.Duration(r.Intn(30)) * time.Millisecond
+	}
+	return tasks
+}
+
+// randomConfig derives a random-but-valid SFS config.
+func randomConfig(seed uint64) core.Config {
+	r := rng.New(seed ^ 0xc0ffee)
+	cfg := core.DefaultConfig()
+	cfg.WindowSize = 1 + r.Intn(200)
+	cfg.InitialSlice = time.Duration(1+r.Intn(300)) * time.Millisecond
+	if r.Float64() < 0.3 {
+		cfg.FixedSlice = time.Duration(1+r.Intn(200)) * time.Millisecond
+	}
+	cfg.OverloadFactor = 0.5 + 5*r.Float64()
+	cfg.PollInterval = time.Duration(1+r.Intn(8)) * time.Millisecond
+	cfg.IOAware = r.Float64() < 0.7
+	cfg.Hybrid = r.Float64() < 0.7
+	return cfg
+}
+
+// TestPropertySFSInvariants fuzzes SFS across random workloads, core
+// counts, and configurations: every request must finish with exact CPU
+// accounting and a consistent turnaround decomposition, regardless of
+// which level it ran in.
+func TestPropertySFSInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw, coresRaw uint8) bool {
+		cores := int(coresRaw%6) + 1
+		tasks := randomTasks(seed, nRaw)
+		s := core.New(randomConfig(seed))
+		eng := cpusim.NewEngine(cpusim.Config{Cores: cores, Deadline: 24 * time.Hour}, s)
+		eng.Submit(tasks...)
+		eng.Run()
+		if eng.Aborted() {
+			return false
+		}
+		filterDone, demoted := 0, 0
+		for _, tk := range tasks {
+			if tk.State != task.StateFinished {
+				return false
+			}
+			if tk.CPUUsed != tk.Service {
+				return false
+			}
+			if tk.Turnaround() != tk.Service+tk.IOTime+tk.WaitTime {
+				return false
+			}
+			if tk.Turnaround() < tk.IdealDuration() {
+				return false
+			}
+			if tk.DemotedToCFS {
+				demoted++
+			} else {
+				filterDone++
+			}
+		}
+		// Internal counters must reconcile with task outcomes.
+		if s.Stat.FilterCompletions != filterDone {
+			return false
+		}
+		if s.Stat.Demotions+s.Stat.OverloadRouted != demoted {
+			return false
+		}
+		return s.Stat.Requests == len(tasks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySFSNeverSlowerThanConvoy: SFS's mean turnaround should
+// never exceed plain FIFO's on short-heavy workloads (FIFO's convoy is
+// the worst case SFS is designed to avoid).
+func TestPropertySFSNeverSlowerThanConvoy(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var a, b []*task.Task
+		at := time.Duration(0)
+		for i := 0; i < 80; i++ {
+			// Bimodal: mostly 5-20ms shorts, some 500ms+ longs.
+			svc := time.Duration(5+r.Intn(15)) * time.Millisecond
+			if r.Float64() < 0.15 {
+				svc = time.Duration(500+r.Intn(500)) * time.Millisecond
+			}
+			a = append(a, task.New(i, at, svc))
+			b = append(b, task.New(i, at, svc))
+			at += time.Duration(r.Intn(20)) * time.Millisecond
+		}
+		mean := func(tasks []*task.Task, s cpusim.Scheduler) time.Duration {
+			eng := cpusim.NewEngine(cpusim.Config{Cores: 2, Deadline: 24 * time.Hour}, s)
+			eng.Submit(tasks...)
+			eng.Run()
+			var sum time.Duration
+			for _, tk := range tasks {
+				sum += tk.Turnaround()
+			}
+			return sum / time.Duration(len(tasks))
+		}
+		sfsMean := mean(a, core.New(core.DefaultConfig()))
+		fifoMean := mean(b, sched.NewFIFO())
+		// Allow 5% slack for slice-boundary noise.
+		return float64(sfsMean) <= 1.05*float64(fifoMean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

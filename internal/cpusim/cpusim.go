@@ -1,0 +1,443 @@
+// Package cpusim is a deterministic discrete-event simulator of a
+// multicore machine running an OS task scheduler.
+//
+// The engine owns virtual time, the cores, and all task lifecycle
+// accounting; a pluggable Scheduler (internal/sched, internal/core)
+// decides which task runs where and for how long. The engine model is
+// event-level rather than tick-level: when a task is dispatched the engine
+// computes the next interesting instant (completion, I/O block, or slice
+// expiry) and schedules a single event for it, which keeps multi-hour
+// workloads with hundreds of thousands of slices cheap to simulate.
+package cpusim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// DescheduleReason explains why a task left a core.
+type DescheduleReason int
+
+// Deschedule reasons.
+const (
+	ReasonPreempted DescheduleReason = iota // slice expired or higher-priority task took the core
+	ReasonBlocked                           // task started a blocking I/O op
+	ReasonFinished                          // task completed
+)
+
+// String implements fmt.Stringer.
+func (r DescheduleReason) String() string {
+	switch r {
+	case ReasonPreempted:
+		return "preempted"
+	case ReasonBlocked:
+		return "blocked"
+	case ReasonFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// API is the engine surface exposed to schedulers. Schedulers use it to
+// read core state, schedule their own timer events (e.g. the SFS monitor
+// and pollers), and request re-scheduling of a core.
+type API interface {
+	// Now returns the current virtual time.
+	Now() simtime.Time
+	// NumCores returns the number of simulated cores.
+	NumCores() int
+	// Running returns the task currently on core, or nil if idle.
+	Running(core int) *task.Task
+	// RanFor returns how long the current task on core has been running
+	// in its current stint (0 if the core is idle).
+	RanFor(core int) time.Duration
+	// After schedules fn at now+d; the returned event may be cancelled.
+	After(d time.Duration, fn func(now simtime.Time)) *simtime.Event
+	// Cancel cancels a pending event scheduled via After.
+	Cancel(ev *simtime.Event)
+	// Reschedule asks the engine to reconsider core: if idle, PickNext is
+	// invoked; if busy and the scheduler's WantsPreempt(core) returns
+	// true, the current task is preempted first.
+	Reschedule(core int)
+}
+
+// Scheduler is the policy plugged into the engine. Implementations own
+// the runnable set; the engine owns running tasks and all accounting.
+type Scheduler interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Bind hands the scheduler its engine API before the run starts.
+	Bind(api API)
+	// Enqueue delivers a task that just became runnable (arrival or I/O
+	// wake). The engine has already marked it runnable.
+	Enqueue(now simtime.Time, t *task.Task)
+	// PickNext selects the task to run on core and the slice budget it
+	// may use (0 means run until completion or block). Returning nil
+	// leaves the core idle until the next Enqueue or Reschedule.
+	PickNext(now simtime.Time, core int) (*task.Task, time.Duration)
+	// Descheduled notifies the scheduler that t left core after running
+	// for ran. On ReasonPreempted the task is runnable again and the
+	// scheduler must retain it for a future PickNext. On ReasonBlocked
+	// the task will be re-delivered via Enqueue when it wakes. On
+	// ReasonFinished the task is gone.
+	Descheduled(now simtime.Time, core int, t *task.Task, ran time.Duration, reason DescheduleReason)
+	// WantsPreempt reports whether the scheduler would rather run a
+	// different runnable task on core right now. The engine calls it
+	// after enqueues and reschedules; returning true triggers a
+	// preemption followed by PickNext.
+	WantsPreempt(now simtime.Time, core int) bool
+}
+
+// coreState tracks what a simulated core is doing.
+type coreState struct {
+	cur      *task.Task
+	runStart simtime.Time
+	budget   time.Duration // slice given at dispatch (0 = unbounded)
+	penalty  time.Duration // context-switch cost folded into this stint
+	event    *simtime.Event
+	lastTask *task.Task    // previous occupant, for switch-cost accounting
+	busyTime time.Duration // total core time consumed (incl. switch cost)
+}
+
+// Config parameterizes an engine run.
+type Config struct {
+	Cores int
+	// CtxSwitchCost models the direct cost of switching a core to a
+	// different task: each such stint is lengthened by this amount
+	// before the task makes CPU progress. Zero disables it.
+	CtxSwitchCost time.Duration
+	// Deadline aborts the simulation at this virtual time if tasks are
+	// still unfinished (0 = no deadline). Used by tests to bound runs.
+	Deadline simtime.Time
+}
+
+// Engine simulates a multicore machine under one scheduler.
+type Engine struct {
+	cfg     Config
+	q       *simtime.Queue
+	sched   Scheduler
+	cores   []coreState
+	pending int // tasks not yet finished
+	tasks   []*task.Task
+
+	// TotalCtxSwitches counts involuntary preemptions across all tasks.
+	TotalCtxSwitches int64
+	// TotalDispatches counts task placements on cores.
+	TotalDispatches int64
+	// SwitchOverhead accumulates core time lost to CtxSwitchCost.
+	SwitchOverhead time.Duration
+	aborted        bool
+	tracer         func(TraceEvent)
+}
+
+// NewEngine constructs an engine for the given scheduler. It panics on a
+// non-positive core count.
+func NewEngine(cfg Config, s Scheduler) *Engine {
+	if cfg.Cores <= 0 {
+		panic("cpusim: need at least one core")
+	}
+	e := &Engine{
+		cfg:   cfg,
+		q:     &simtime.Queue{},
+		sched: s,
+		cores: make([]coreState, cfg.Cores),
+	}
+	s.Bind(e)
+	return e
+}
+
+// Now implements API.
+func (e *Engine) Now() simtime.Time { return e.q.Now() }
+
+// NumCores implements API.
+func (e *Engine) NumCores() int { return len(e.cores) }
+
+// Running implements API.
+func (e *Engine) Running(core int) *task.Task { return e.cores[core].cur }
+
+// RanFor implements API.
+func (e *Engine) RanFor(core int) time.Duration {
+	c := &e.cores[core]
+	if c.cur == nil {
+		return 0
+	}
+	return e.q.Now() - c.runStart
+}
+
+// After implements API.
+func (e *Engine) After(d time.Duration, fn func(now simtime.Time)) *simtime.Event {
+	return e.q.After(d, fn)
+}
+
+// Cancel implements API.
+func (e *Engine) Cancel(ev *simtime.Event) { e.q.Cancel(ev) }
+
+// Reschedule implements API.
+func (e *Engine) Reschedule(core int) {
+	now := e.q.Now()
+	c := &e.cores[core]
+	if c.cur == nil {
+		e.dispatch(now, core)
+		return
+	}
+	if e.sched.WantsPreempt(now, core) {
+		e.preempt(now, core)
+		e.dispatch(now, core)
+	}
+}
+
+// Submit registers tasks; their arrival events are scheduled at their
+// Arrival times. Must be called before Run.
+func (e *Engine) Submit(tasks ...*task.Task) {
+	for _, t := range tasks {
+		t := t
+		if err := t.Validate(); err != nil {
+			panic(err)
+		}
+		e.tasks = append(e.tasks, t)
+		e.pending++
+		e.q.At(t.Arrival, func(now simtime.Time) { e.arrive(now, t) })
+	}
+}
+
+// Run drives the simulation until every submitted task finishes (or the
+// configured deadline passes) and returns the makespan.
+func (e *Engine) Run() simtime.Time {
+	deadline := e.cfg.Deadline
+	if deadline == 0 {
+		deadline = simtime.Infinity
+	}
+	for e.pending > 0 && e.q.Len() > 0 && e.q.PeekTime() <= deadline {
+		e.q.Step()
+	}
+	if e.pending > 0 {
+		e.aborted = true
+	}
+	return e.q.Now()
+}
+
+// Aborted reports whether Run stopped at the deadline with unfinished
+// tasks.
+func (e *Engine) Aborted() bool { return e.aborted }
+
+// Pending returns the number of unfinished tasks.
+func (e *Engine) Pending() int { return e.pending }
+
+// Tasks returns all submitted tasks (for metric extraction).
+func (e *Engine) Tasks() []*task.Task { return e.tasks }
+
+// Utilization returns the fraction of core-time spent running tasks over
+// the interval [0, makespan].
+func (e *Engine) Utilization() float64 {
+	if e.q.Now() == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for i := range e.cores {
+		busy += e.cores[i].busyTime
+	}
+	return float64(busy) / (float64(e.q.Now()) * float64(len(e.cores)))
+}
+
+// arrive handles a task arrival event.
+func (e *Engine) arrive(now simtime.Time, t *task.Task) {
+	t.MarkReady(now)
+	e.sched.Enqueue(now, t)
+	e.afterEnqueue(now, t)
+}
+
+// afterEnqueue gives the scheduler a chance to place the new/woken task:
+// first by filling idle cores, then via a single preemption if the
+// scheduler asks for one.
+func (e *Engine) afterEnqueue(now simtime.Time, t *task.Task) {
+	for core := range e.cores {
+		if e.cores[core].cur == nil {
+			e.dispatch(now, core)
+		}
+	}
+	// Cascade preemptions until the wakeup settles: a single enqueue can
+	// displace a lower-priority task whose replacement again changes what
+	// the scheduler wants elsewhere (e.g. an SFS FILTER wakeup bumping a
+	// CFS task). Bounded by the core count per round.
+	for round := 0; round <= len(e.cores) && t.State == task.StateRunnable; round++ {
+		preempted := false
+		for core := range e.cores {
+			if e.cores[core].cur == nil {
+				continue
+			}
+			if e.sched.WantsPreempt(now, core) {
+				e.preempt(now, core)
+				e.dispatch(now, core)
+				preempted = true
+				break
+			}
+		}
+		if !preempted {
+			break
+		}
+	}
+}
+
+// dispatch asks the scheduler for work on an idle core and starts it.
+func (e *Engine) dispatch(now simtime.Time, core int) {
+	if e.cores[core].cur != nil {
+		panic("cpusim: dispatch on busy core")
+	}
+	t, slice := e.sched.PickNext(now, core)
+	if t == nil {
+		return
+	}
+	e.place(now, core, t, slice, true)
+}
+
+// place installs t on an idle core with the given slice budget and
+// schedules the stint's end event. countDispatch is false when renewing a
+// slice for the task that was already on the core.
+func (e *Engine) place(now simtime.Time, core int, t *task.Task, slice time.Duration, countDispatch bool) {
+	c := &e.cores[core]
+	if c.cur != nil {
+		panic("cpusim: place on busy core")
+	}
+	if t.State != task.StateRunnable {
+		panic(fmt.Sprintf("cpusim: scheduler picked non-runnable %v in state %v", t, t.State))
+	}
+	t.MarkRunning(now, core)
+	if countDispatch {
+		e.TotalDispatches++
+		e.trace(TraceDispatch, core, t)
+	} else {
+		// MarkRunning bumped Dispatches for what is really the same
+		// stint; undo to keep dispatch counts meaningful.
+		t.Dispatches--
+	}
+	c.cur = t
+	c.runStart = now
+	c.budget = slice
+	c.penalty = 0
+	if e.cfg.CtxSwitchCost > 0 && c.lastTask != t {
+		c.penalty = e.cfg.CtxSwitchCost
+		e.SwitchOverhead += c.penalty
+	}
+	c.lastTask = t
+
+	// The stint ends at the earliest of completion, next I/O op, or
+	// slice expiry — all offset by the switch penalty, during which the
+	// task makes no CPU progress.
+	runFor := t.Remaining()
+	reason := ReasonFinished
+	if io := t.NextIO(); io != nil {
+		// <= so that an I/O op scheduled exactly at the end of the CPU
+		// demand still blocks before the task is declared finished.
+		if untilIO := io.At - t.CPUUsed; untilIO <= runFor {
+			runFor = untilIO
+			reason = ReasonBlocked
+		}
+	}
+	if slice > 0 && slice < runFor {
+		runFor = slice
+		reason = ReasonPreempted
+	}
+	if runFor < 0 {
+		panic("cpusim: negative run segment")
+	}
+	r := reason
+	c.event = e.q.After(runFor+c.penalty, func(fireAt simtime.Time) { e.coreEvent(fireAt, core, r) })
+}
+
+// chargeRun updates accounting for a stint of wall length ran on core c.
+// The switch penalty portion consumes core time but no task CPU progress.
+func (e *Engine) chargeRun(c *coreState, t *task.Task, ran time.Duration) {
+	useful := ran - c.penalty
+	if useful < 0 {
+		useful = 0
+	}
+	t.CPUUsed += useful
+	c.busyTime += ran
+	if t.CPUUsed > t.Service {
+		panic("cpusim: task overran its service demand")
+	}
+}
+
+// preempt forcibly removes the current task from core, returning it to
+// the scheduler as runnable.
+func (e *Engine) preempt(now simtime.Time, core int) {
+	c := &e.cores[core]
+	t := c.cur
+	if t == nil {
+		return
+	}
+	e.q.Cancel(c.event)
+	ran := now - c.runStart
+	e.chargeRun(c, t, ran)
+	t.CtxSwitches++
+	e.TotalCtxSwitches++
+	e.trace(TracePreempt, core, t)
+	t.MarkReady(now)
+	c.cur = nil
+	c.event = nil
+	e.sched.Descheduled(now, core, t, ran, ReasonPreempted)
+}
+
+// coreEvent fires when the running task on core reaches the end of its
+// current stint for the given reason.
+func (e *Engine) coreEvent(now simtime.Time, core int, reason DescheduleReason) {
+	c := &e.cores[core]
+	t := c.cur
+	if t == nil {
+		panic("cpusim: core event on idle core")
+	}
+	ran := now - c.runStart
+	e.chargeRun(c, t, ran)
+	c.cur = nil
+	c.event = nil
+
+	switch reason {
+	case ReasonFinished:
+		if t.Remaining() != 0 {
+			panic("cpusim: finish event with CPU remaining")
+		}
+		t.MarkFinished(now)
+		e.pending--
+		e.trace(TraceFinish, core, t)
+		e.sched.Descheduled(now, core, t, ran, ReasonFinished)
+	case ReasonBlocked:
+		io := t.NextIO()
+		if io == nil {
+			panic("cpusim: block event without pending IO")
+		}
+		t.PopIO()
+		t.MarkSleeping(now)
+		dur := io.Dur
+		e.trace(TraceBlock, core, t)
+		e.sched.Descheduled(now, core, t, ran, ReasonBlocked)
+		e.q.After(dur, func(wake simtime.Time) {
+			t.MarkWoken(wake, dur)
+			e.trace(TraceWake, -1, t)
+			e.sched.Enqueue(wake, t)
+			e.afterEnqueue(wake, t)
+		})
+	case ReasonPreempted:
+		// Slice expiry. The scheduler accounts the stint and picks the
+		// successor; if it re-picks the same task this is a slice
+		// renewal, not a context switch.
+		t.MarkReady(now)
+		e.sched.Descheduled(now, core, t, ran, ReasonPreempted)
+		next, slice := e.sched.PickNext(now, core)
+		if next == t {
+			e.place(now, core, t, slice, false)
+			return
+		}
+		t.CtxSwitches++
+		e.TotalCtxSwitches++
+		e.trace(TracePreempt, core, t)
+		if next != nil {
+			e.place(now, core, next, slice, true)
+		}
+		return
+	}
+	e.dispatch(now, core)
+}

@@ -1,0 +1,64 @@
+package cpusim
+
+import (
+	"fmt"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// TraceKind classifies engine trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceDispatch TraceKind = iota // task placed on a core
+	TracePreempt                   // task involuntarily descheduled
+	TraceBlock                     // task started a blocking I/O op
+	TraceWake                      // task's I/O completed
+	TraceFinish                    // task completed
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceDispatch:
+		return "dispatch"
+	case TracePreempt:
+		return "preempt"
+	case TraceBlock:
+		return "block"
+	case TraceWake:
+		return "wake"
+	case TraceFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("trace(%d)", int(k))
+	}
+}
+
+// TraceEvent is one scheduling event observed by the engine.
+type TraceEvent struct {
+	At   simtime.Time
+	Kind TraceKind
+	Core int // -1 for wake events
+	Task *task.Task
+}
+
+// String renders the event compactly ("12ms dispatch core0 task3").
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%v %s core%d task%d", e.At, e.Kind, e.Core, e.Task.ID)
+}
+
+// SetTracer installs a callback invoked for every scheduling event.
+// Pass nil to disable. Tracing is intended for tests and debugging; it
+// is off by default and adds no cost when unset. Must be called before
+// Run.
+func (e *Engine) SetTracer(fn func(TraceEvent)) { e.tracer = fn }
+
+// trace emits an event if a tracer is installed.
+func (e *Engine) trace(kind TraceKind, core int, t *task.Task) {
+	if e.tracer != nil {
+		e.tracer(TraceEvent{At: e.q.Now(), Kind: kind, Core: core, Task: t})
+	}
+}

@@ -1,0 +1,101 @@
+package cpusim_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// TestGoldenTimelineRR verifies the engine emits the exact schedule a
+// two-task round-robin run must produce.
+func TestGoldenTimelineRR(t *testing.T) {
+	a := task.New(0, 0, ms(150))
+	b := task.New(1, 0, ms(150))
+	var got []string
+	eng := cpusim.NewEngine(cpusim.Config{Cores: 1, Deadline: time.Hour}, sched.NewRR(ms(100)))
+	eng.SetTracer(func(ev cpusim.TraceEvent) {
+		got = append(got, fmt.Sprintf("%dms %s t%d", ev.At/time.Millisecond, ev.Kind, ev.Task.ID))
+	})
+	eng.Submit(a, b)
+	eng.Run()
+	want := []string{
+		"0ms dispatch t0",
+		"100ms preempt t0", // quantum expired, b takes over
+		"100ms dispatch t1",
+		"200ms preempt t1", // quantum expired, a resumes
+		"200ms dispatch t0",
+		"250ms finish t0", // a's remaining 50ms
+		"250ms dispatch t1",
+		"300ms finish t1",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("timeline mismatch\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestGoldenTimelineSRTFPreemption verifies arrival preemption events.
+func TestGoldenTimelineSRTFPreemption(t *testing.T) {
+	long := task.New(0, 0, ms(100))
+	short := task.New(1, ms(10), ms(20))
+	var got []string
+	eng := cpusim.NewEngine(cpusim.Config{Cores: 1, Deadline: time.Hour}, sched.NewSRTF())
+	eng.SetTracer(func(ev cpusim.TraceEvent) {
+		got = append(got, fmt.Sprintf("%dms %s t%d", ev.At/time.Millisecond, ev.Kind, ev.Task.ID))
+	})
+	eng.Submit(long, short)
+	eng.Run()
+	want := []string{
+		"0ms dispatch t0",
+		"10ms preempt t0", // the shorter arrival takes the core
+		"10ms dispatch t1",
+		"30ms finish t1",
+		"30ms dispatch t0",
+		"120ms finish t0",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("timeline mismatch\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestGoldenTimelineIO verifies block/wake events.
+func TestGoldenTimelineIO(t *testing.T) {
+	a := task.New(0, 0, ms(20)).WithIO(ms(10), ms(30))
+	var got []string
+	eng := cpusim.NewEngine(cpusim.Config{Cores: 1, Deadline: time.Hour}, sched.NewFIFO())
+	eng.SetTracer(func(ev cpusim.TraceEvent) {
+		got = append(got, fmt.Sprintf("%dms %s t%d core%d", ev.At/time.Millisecond, ev.Kind, ev.Task.ID, ev.Core))
+	})
+	eng.Submit(a)
+	eng.Run()
+	want := []string{
+		"0ms dispatch t0 core0",
+		"10ms block t0 core0",
+		"40ms wake t0 core-1",
+		"40ms dispatch t0 core0",
+		"50ms finish t0 core0",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("timeline mismatch\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestTraceKindStrings covers the stringer.
+func TestTraceKindStrings(t *testing.T) {
+	for k, want := range map[cpusim.TraceKind]string{
+		cpusim.TraceDispatch: "dispatch", cpusim.TracePreempt: "preempt",
+		cpusim.TraceBlock: "block", cpusim.TraceWake: "wake",
+		cpusim.TraceFinish: "finish", cpusim.TraceKind(99): "trace(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d -> %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package cpusim_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/queueing"
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/stats"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// buildMMc builds an M/M/c workload: Poisson arrivals at rate lambda,
+// exponential service at rate mu (both per second).
+func buildMMc(n int, lambda, mu float64, seed uint64) []*task.Task {
+	r := rng.New(seed)
+	var tasks []*task.Task
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			at += time.Duration(r.ExpFloat64() / lambda * float64(time.Second))
+		}
+		svc := time.Duration(r.ExpFloat64() / mu * float64(time.Second))
+		if svc < time.Microsecond {
+			svc = time.Microsecond
+		}
+		tasks = append(tasks, task.New(i, at, svc))
+	}
+	return tasks
+}
+
+// TestEngineMatchesErlangC cross-validates the whole simulation stack
+// against queueing theory: an M/M/c system served FCFS must reproduce
+// the Erlang-C mean waiting time. This ties the discrete-event engine,
+// the FIFO scheduler, and the analytic package together.
+func TestEngineMatchesErlangC(t *testing.T) {
+	cases := []struct {
+		cores  int
+		lambda float64 // arrivals/sec
+		mu     float64 // service rate per core
+	}{
+		{1, 8, 10},  // rho=0.8, M/M/1
+		{4, 30, 10}, // rho=0.75, M/M/4
+		{8, 60, 10}, // rho=0.75, M/M/8
+	}
+	for _, c := range cases {
+		c := c
+		// Average over several seeds to tame stochastic error.
+		var measured stats.Online
+		for seed := uint64(1); seed <= 5; seed++ {
+			tasks := buildMMc(30000, c.lambda, c.mu, seed)
+			eng := cpusim.NewEngine(cpusim.Config{Cores: c.cores, Deadline: 1000 * time.Hour}, sched.NewFIFO())
+			eng.Submit(tasks...)
+			eng.Run()
+			var w stats.Online
+			// Skip a warmup prefix so the estimate is steady-state.
+			for _, tk := range tasks[2000:] {
+				w.AddDuration(tk.WaitTime)
+			}
+			measured.Add(w.Mean())
+		}
+		want, err := queueing.MMcWait(c.lambda, c.mu, c.cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := time.Duration(measured.Mean())
+		rel := math.Abs(float64(got-want)) / float64(want)
+		t.Logf("M/M/%d rho=%.2f: measured Wq=%v, Erlang-C Wq=%v (%.1f%% off)",
+			c.cores, c.lambda/(c.mu*float64(c.cores)), got.Round(time.Millisecond), want.Round(time.Millisecond), rel*100)
+		if rel > 0.10 {
+			t.Errorf("M/M/%d: measured %v deviates %.0f%% from Erlang-C %v",
+				c.cores, got, rel*100, want)
+		}
+	}
+}
+
+// TestEngineMatchesMG1 validates the Pollaczek-Khinchine formula for a
+// deterministic-service M/D/1 queue.
+func TestEngineMatchesMG1(t *testing.T) {
+	const lambda = 8.0 // arrivals/sec
+	const es = 0.1     // 100ms deterministic service
+	var measured stats.Online
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := rng.New(seed)
+		var tasks []*task.Task
+		at := time.Duration(0)
+		for i := 0; i < 30000; i++ {
+			if i > 0 {
+				at += time.Duration(r.ExpFloat64() / lambda * float64(time.Second))
+			}
+			tasks = append(tasks, task.New(i, at, 100*time.Millisecond))
+		}
+		eng := cpusim.NewEngine(cpusim.Config{Cores: 1, Deadline: 1000 * time.Hour}, sched.NewFIFO())
+		eng.Submit(tasks...)
+		eng.Run()
+		var w stats.Online
+		for _, tk := range tasks[2000:] {
+			w.AddDuration(tk.WaitTime)
+		}
+		measured.Add(w.Mean())
+	}
+	want, err := queueing.MG1Wait(lambda, es, es*es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := time.Duration(measured.Mean())
+	rel := math.Abs(float64(got-want)) / float64(want)
+	t.Logf("M/D/1 rho=%.2f: measured Wq=%v, P-K Wq=%v (%.1f%% off)",
+		lambda*es, got.Round(time.Millisecond), want.Round(time.Millisecond), rel*100)
+	if rel > 0.10 {
+		t.Errorf("M/D/1: measured %v deviates %.0f%% from P-K %v", got, rel*100, want)
+	}
+}

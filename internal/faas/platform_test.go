@@ -1,0 +1,167 @@
+package faas
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/core"
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/workload"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func smallWorkload(cores int, seed uint64) *workload.Workload {
+	return workload.Generate(workload.Spec{
+		N: 300, Cores: cores, Load: 0.8, Seed: seed,
+		Duration: dist.Uniform{Lo: ms(5), Hi: ms(200)},
+		Apps: []workload.AppChoice{
+			{Profile: workload.AppFib, Weight: 0.5},
+			{Profile: workload.AppMd, Weight: 0.25},
+			{Profile: workload.AppSa, Weight: 0.25},
+		},
+	})
+}
+
+func TestPlatformAddsOverheads(t *testing.T) {
+	const cores = 4
+	w := smallWorkload(cores, 1)
+
+	// Bare engine run (no platform).
+	bare := New(Config{Cores: cores, Seed: 2}) // zero overheads
+	bareRes := bare.Run(w, sched.NewCFS(sched.CFSConfig{}))
+
+	loaded := New(Config{Cores: cores, Overheads: DefaultOverheads(), Seed: 2})
+	loadedRes := loaded.Run(w, sched.NewCFS(sched.CFSConfig{}))
+
+	if loadedRes.MeanDispatchOverhead == 0 {
+		t.Fatal("no dispatch overhead sampled")
+	}
+	if bareRes.MeanDispatchOverhead != 0 {
+		t.Fatal("zero-overhead platform sampled overhead")
+	}
+	// Mean turnaround must be strictly larger with overheads.
+	if loadedRes.Run.MeanTurnaround() <= bareRes.Run.MeanTurnaround() {
+		t.Fatalf("overheads did not increase turnaround: %v vs %v",
+			loadedRes.Run.MeanTurnaround(), bareRes.Run.MeanTurnaround())
+	}
+}
+
+func TestPlatformRestoresEndToEndTimestamps(t *testing.T) {
+	const cores = 2
+	w := smallWorkload(cores, 3)
+	p := New(Config{Cores: cores, Overheads: DefaultOverheads(), Seed: 4})
+	res := p.Run(w, sched.NewFIFO())
+	for i, tk := range res.Run.Tasks {
+		if tk.Arrival != w.Tasks[i].Arrival {
+			t.Fatalf("task %d arrival not restored: %v vs %v", i, tk.Arrival, w.Tasks[i].Arrival)
+		}
+		// End-to-end turnaround strictly exceeds the ideal (overheads).
+		if tk.Turnaround() <= tk.IdealDuration() {
+			t.Fatalf("task %d turnaround %v not above ideal %v", i, tk.Turnaround(), tk.IdealDuration())
+		}
+	}
+}
+
+func TestSFSPortStillWinsUnderPlatform(t *testing.T) {
+	// §IX headline: with platform overheads, OL+SFS still beats OL+CFS
+	// for the short majority.
+	const cores = 8
+	w := workload.AzureSampled(workload.AzureSampledSpec{
+		N: 3000, Cores: cores, Load: 0.9, Seed: 17,
+		Apps: []workload.AppChoice{
+			{Profile: workload.AppFib, Weight: 0.5},
+			{Profile: workload.AppMd, Weight: 0.25},
+			{Profile: workload.AppSa, Weight: 0.25},
+		},
+	})
+	cfsP := New(Config{Cores: cores, Overheads: DefaultOverheads(), Seed: 18})
+	cfsRes := cfsP.Run(w, sched.NewCFS(sched.CFSConfig{}))
+	sfsP := New(Config{Cores: cores, Overheads: DefaultOverheads(), SFSPort: true, Seed: 18})
+	sfsRes := sfsP.Run(w, core.New(core.DefaultConfig()))
+
+	sum := metrics.CompareRuns(cfsRes.Run, sfsRes.Run)
+	t.Logf("OL: improved=%.0f%% arith=%.1fx regressed=%.0f%% (slowdown %.2fx)",
+		100*sum.ShortFraction, sum.ShortSpeedupArith, 100*sum.LongFraction, sum.LongSlowdownArith)
+	// Platform overheads and the I/O polling lag shave the improved
+	// fraction below the bare-scheduler numbers (the paper makes the
+	// same observation in §IX); the improvements must still dominate.
+	if sum.ShortFraction < 0.5 {
+		t.Errorf("expected majority improvement under the platform, got %.2f", sum.ShortFraction)
+	}
+	if sum.ShortSpeedupArith < 2 {
+		t.Errorf("expected substantial wins for improved requests, got %.2fx", sum.ShortSpeedupArith)
+	}
+	// Geometric mean keeps the check robust to a few extreme stragglers
+	// in the saturated tail.
+	if sum.LongSlowdown > 4 {
+		t.Errorf("regressions should be mild, got %.2fx (geo)", sum.LongSlowdown)
+	}
+	if sfsRes.Run.MeanTurnaround() > cfsRes.Run.MeanTurnaround() {
+		t.Errorf("OL+SFS mean %v should not exceed OL+CFS %v",
+			sfsRes.Run.MeanTurnaround(), cfsRes.Run.MeanTurnaround())
+	}
+}
+
+func TestColdStartInjection(t *testing.T) {
+	const cores = 2
+	w := smallWorkload(cores, 5)
+	p := New(Config{
+		Cores:     cores,
+		ColdStart: ColdStartModel{Fraction: 0.5, Penalty: dist.Constant{Value: ms(100)}},
+		Seed:      6,
+	})
+	res := p.Run(w, sched.NewFIFO())
+	frac := float64(res.ColdStarts) / float64(len(w.Tasks))
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("cold-start fraction %.2f, want ~0.5", frac)
+	}
+	// Cold starts must add at least 100ms to the mean dispatch overhead
+	// share of affected requests.
+	if res.MeanDispatchOverhead < ms(40) {
+		t.Fatalf("mean dispatch overhead %v too small for injected cold starts", res.MeanDispatchOverhead)
+	}
+}
+
+func TestPlatformDeterminism(t *testing.T) {
+	const cores = 2
+	w := smallWorkload(cores, 7)
+	r1 := New(Config{Cores: cores, Overheads: DefaultOverheads(), Seed: 8}).Run(w, sched.NewFIFO())
+	r2 := New(Config{Cores: cores, Overheads: DefaultOverheads(), Seed: 8}).Run(w, sched.NewFIFO())
+	for i := range r1.Run.Tasks {
+		if r1.Run.Tasks[i].Finish != r2.Run.Tasks[i].Finish {
+			t.Fatalf("same-seed platform runs diverge at task %d", i)
+		}
+	}
+}
+
+func TestOverheadModelEstimate(t *testing.T) {
+	m := DefaultOverheadModel()
+	// 72 workers busy ~60% of a 600s run: ~26,000s of aggregate FILTER
+	// time, polled every 4ms (6.5M polls), plus ~1M scheduling ops.
+	pollCPU, schedCPU, rel := m.Estimate(26000*time.Second, 4*time.Millisecond, 1_000_000, 72, 600*time.Second)
+	if pollCPU <= 0 || schedCPU <= 0 {
+		t.Fatal("zero overhead components")
+	}
+	if rel <= 0 || rel > 0.2 {
+		t.Fatalf("relative overhead %.3f out of plausible range", rel)
+	}
+	// Polling should dominate (the paper reports ~74%).
+	if float64(pollCPU)/float64(pollCPU+schedCPU) < 0.5 {
+		t.Fatalf("polling share %.2f; expected dominant", float64(pollCPU)/float64(pollCPU+schedCPU))
+	}
+	if _, _, r := m.Estimate(0, 0, 0, 0, 0); r != 0 {
+		t.Fatal("degenerate estimate should be zero")
+	}
+}
+
+func TestPanicsOnZeroCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,202 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func newStarted(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestShortFunctionCompletesInFilter(t *testing.T) {
+	s := newStarted(t, Config{Workers: 2, InitialSlice: ms(500)})
+	fut, err := s.Submit("short", func(ctx *Ctx) { ctx.Spin(ms(10)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fut.Wait()
+	if res.Mode != ModeFilter {
+		t.Fatalf("mode %v, want FILTER", res.Mode)
+	}
+	if res.Turnaround() < ms(5) {
+		t.Fatalf("turnaround %v implausibly fast", res.Turnaround())
+	}
+	// The worker observes the completion asynchronously after the future
+	// resolves; give the counter a moment.
+	deadline := time.Now().Add(time.Second)
+	for s.Stats.FilterComplete.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("filter completions %d", s.Stats.FilterComplete.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLongFunctionDemoted(t *testing.T) {
+	s := newStarted(t, Config{Workers: 1, FixedSlice: ms(20)})
+	fut, err := s.Submit("long", func(ctx *Ctx) { ctx.Spin(ms(120)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fut.Wait()
+	if res.Mode != ModeCFS {
+		t.Fatalf("mode %v, want CFS after demotion", res.Mode)
+	}
+	if s.Stats.Demotions.Load() != 1 {
+		t.Fatalf("demotions %d", s.Stats.Demotions.Load())
+	}
+}
+
+func TestDemotionFreesWorkerForShorts(t *testing.T) {
+	// One worker: a long function is demoted at 20ms; short functions
+	// submitted behind it must not wait for the long one to finish.
+	s := newStarted(t, Config{Workers: 1, FixedSlice: ms(20)})
+	longFut, err := s.Submit("long", func(ctx *Ctx) { ctx.Spin(ms(300)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(ms(5)) // let the long one start
+	shortFut, err := s.Submit("short", func(ctx *Ctx) { ctx.Spin(ms(10)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := shortFut.Wait()
+	if short.Turnaround() > ms(200) {
+		t.Fatalf("short waited for the long function: %v", short.Turnaround())
+	}
+	long := longFut.Wait()
+	if long.Mode != ModeCFS {
+		t.Fatalf("long mode %v", long.Mode)
+	}
+}
+
+func TestIOFreesWorker(t *testing.T) {
+	// A function sleeping in FILTER mode must release its worker so a
+	// second function can run meanwhile (§V-D).
+	s := newStarted(t, Config{Workers: 1, FixedSlice: ms(500)})
+	sleeperFut, err := s.Submit("sleeper", func(ctx *Ctx) {
+		ctx.Spin(ms(5))
+		ctx.Sleep(ms(150))
+		ctx.Spin(ms(5))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(ms(30)) // sleeper is now blocked in its IO
+	start := time.Now()
+	shortFut, err := s.Submit("short", func(ctx *Ctx) { ctx.Spin(ms(10)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortFut.Wait()
+	if d := time.Since(start); d > ms(100) {
+		t.Fatalf("short blocked behind a sleeping function: %v", d)
+	}
+	res := sleeperFut.Wait()
+	if res.Mode != ModeFilter {
+		t.Fatalf("sleeper mode %v, want FILTER (IO must not burn slice)", res.Mode)
+	}
+}
+
+func TestOverloadRouting(t *testing.T) {
+	// A large instantaneous burst on one worker with a tiny slice trips
+	// the O*S delay threshold for queued requests.
+	s := newStarted(t, Config{Workers: 1, FixedSlice: ms(5)})
+	var futs []*Future
+	for i := 0; i < 60; i++ {
+		fut, err := s.Submit("burst", func(ctx *Ctx) { ctx.Spin(ms(4)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	for _, f := range futs {
+		f.Wait()
+	}
+	if s.Stats.OverloadRouted.Load() == 0 {
+		t.Fatal("overload routing never triggered")
+	}
+}
+
+func TestSliceAdaptation(t *testing.T) {
+	s := newStarted(t, Config{Workers: 2, WindowSize: 20, InitialSlice: ms(300)})
+	var wg sync.WaitGroup
+	for i := 0; i < 45; i++ {
+		fut, err := s.Submit("tick", func(ctx *Ctx) { ctx.Spin(time.Millisecond) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); fut.Wait() }()
+		time.Sleep(ms(2))
+	}
+	wg.Wait()
+	got := s.Slice()
+	// Mean IAT ~2-4ms (sleep plus scheduling noise) x 2 workers.
+	if got == ms(300) {
+		t.Fatal("slice never adapted")
+	}
+	if got < time.Millisecond || got > ms(40) {
+		t.Fatalf("adapted slice %v outside plausible range", got)
+	}
+}
+
+func TestSubmitAfterStop(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Start()
+	s.Stop()
+	if _, err := s.Submit("late", func(ctx *Ctx) {}); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestManyConcurrentInvocations(t *testing.T) {
+	s := newStarted(t, Config{Workers: 4, InitialSlice: ms(50)})
+	const n = 200
+	futs := make([]*Future, n)
+	for i := range futs {
+		var err error
+		futs[i], err = s.Submit("mixed", func(ctx *Ctx) {
+			ctx.Spin(time.Duration(500+i%1500) * time.Microsecond)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	modes := map[Mode]int{}
+	for _, f := range futs {
+		res := f.Wait()
+		modes[res.Mode]++
+		if res.Turnaround() <= 0 {
+			t.Fatal("non-positive turnaround")
+		}
+	}
+	if modes[ModeFilter] == 0 {
+		t.Fatalf("no FILTER completions: %v", modes)
+	}
+	if got := s.Stats.Submitted.Load(); got != n {
+		t.Fatalf("submitted %d, want %d", got, n)
+	}
+}
+
+func TestCheckpointYieldsOnlyWhenContended(t *testing.T) {
+	s := newStarted(t, Config{Workers: 1, FixedSlice: ms(1)})
+	fut, err := s.Submit("demoted", func(ctx *Ctx) { ctx.Spin(ms(30)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut.Wait()
+	// Demoted with an empty queue: checkpoints happened, but no yields
+	// were necessary.
+	if s.Stats.Checkpoints.Load() == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+}

@@ -1,0 +1,66 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Summary aggregates finished invocation results into the paper's
+// metrics, the live counterpart of internal/metrics for simulator runs.
+type Summary struct {
+	N              int
+	FilterComplete int
+	CFSComplete    int
+	MeanTurnaround time.Duration
+	P50, P90, P99  time.Duration
+	MaxQueueDelay  time.Duration
+}
+
+// Summarize computes a Summary over results. Unfinished (zero-valued)
+// results are skipped.
+func Summarize(results []Result) Summary {
+	var s Summary
+	var tas []time.Duration
+	var sum time.Duration
+	for _, r := range results {
+		if r.Finished.IsZero() {
+			continue
+		}
+		s.N++
+		if r.Mode == ModeFilter {
+			s.FilterComplete++
+		} else {
+			s.CFSComplete++
+		}
+		ta := r.Turnaround()
+		tas = append(tas, ta)
+		sum += ta
+		if r.QueueDelay > s.MaxQueueDelay {
+			s.MaxQueueDelay = r.QueueDelay
+		}
+	}
+	if s.N == 0 {
+		return s
+	}
+	s.MeanTurnaround = sum / time.Duration(s.N)
+	sort.Slice(tas, func(i, j int) bool { return tas[i] < tas[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p/100*float64(len(tas)-1) + 0.5)
+		if idx >= len(tas) {
+			idx = len(tas) - 1
+		}
+		return tas[idx]
+	}
+	s.P50, s.P90, s.P99 = pct(50), pct(90), pct(99)
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d filter=%d cfs=%d mean=%v p50=%v p90=%v p99=%v maxQ=%v",
+		s.N, s.FilterComplete, s.CFSComplete,
+		s.MeanTurnaround.Round(time.Microsecond),
+		s.P50.Round(time.Microsecond), s.P90.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.MaxQueueDelay.Round(time.Microsecond))
+}

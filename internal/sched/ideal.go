@@ -1,0 +1,23 @@
+package sched
+
+import (
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// RunIdeal computes each task's outcome in the paper's IDEAL scenario:
+// infinite resources with zero contention, so every task starts the
+// instant it arrives and its turnaround equals CPU demand plus I/O time.
+// It fills in the same accounting fields the simulator would, so metric
+// extraction works uniformly.
+func RunIdeal(tasks []*task.Task) {
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			panic(err)
+		}
+		t.MarkReady(t.Arrival)
+		t.MarkRunning(t.Arrival, 0)
+		t.CPUUsed = t.Service
+		t.IOTime = t.TotalIO()
+		t.MarkFinished(t.Arrival + t.IdealDuration())
+	}
+}

@@ -1,0 +1,208 @@
+// Package simtime provides the virtual clock and event queue that drive the
+// discrete-event simulations in this repository.
+//
+// Virtual time is represented as time.Duration since simulation start,
+// giving nanosecond resolution and readable formatting for free. The event
+// queue is an indexed binary min-heap keyed by (time, sequence) so that
+// events scheduled for the same instant fire in FIFO order, which keeps
+// simulations deterministic.
+package simtime
+
+import "time"
+
+// Time is virtual time since simulation start.
+type Time = time.Duration
+
+// Infinity is a sentinel virtual time later than any event a simulation
+// will schedule.
+const Infinity Time = 1<<63 - 1
+
+// Event is a callback scheduled to fire at a virtual time. Events may be
+// cancelled before they fire.
+type Event struct {
+	At   Time
+	Fn   func(now Time)
+	seq  uint64
+	idx  int // heap index; -1 when not queued
+	dead bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.dead }
+
+// Queue is a deterministic discrete-event queue. The zero value is ready to
+// use. Queue is not safe for concurrent use; simulations are single
+// threaded by design.
+type Queue struct {
+	now    Time
+	seq    uint64
+	heap   []*Event
+	fired  uint64
+	sched  uint64
+	cancel uint64
+}
+
+// Now returns the current virtual time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Stats returns counters of scheduled, fired, and cancelled events.
+func (q *Queue) Stats() (scheduled, fired, cancelled uint64) {
+	return q.sched, q.fired, q.cancel
+}
+
+// At schedules fn at absolute virtual time at. Scheduling in the past (or
+// at the current instant) fires the event at the current time on the next
+// Step; this is valid and used for "immediate" follow-up work. The returned
+// Event handle may be passed to Cancel.
+func (q *Queue) At(at Time, fn func(now Time)) *Event {
+	if at < q.now {
+		at = q.now
+	}
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	q.sched++
+	q.push(e)
+	return e
+}
+
+// After schedules fn after delay d from the current virtual time.
+func (q *Queue) After(d Time, fn func(now Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return q.At(q.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling a nil, already-fired, or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.dead || e.idx < 0 {
+		if e != nil && !e.dead {
+			e.dead = true
+		}
+		return
+	}
+	e.dead = true
+	q.remove(e.idx)
+	q.cancel++
+}
+
+// PeekTime returns the time of the next pending event, or Infinity if none.
+func (q *Queue) PeekTime() Time {
+	if len(q.heap) == 0 {
+		return Infinity
+	}
+	return q.heap[0].At
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It returns false if the queue is empty.
+func (q *Queue) Step() bool {
+	for len(q.heap) > 0 {
+		e := q.heap[0]
+		q.remove(0)
+		if e.dead {
+			continue
+		}
+		q.now = e.At
+		e.dead = true
+		q.fired++
+		e.Fn(q.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or until the next event would be
+// after deadline. It returns the number of events fired.
+func (q *Queue) Run(deadline Time) int {
+	n := 0
+	for len(q.heap) > 0 && q.PeekTime() <= deadline {
+		if q.Step() {
+			n++
+		}
+	}
+	if q.now < deadline && deadline < Infinity {
+		q.now = deadline
+	}
+	return n
+}
+
+// RunAll fires events until the queue is drained and returns the count.
+func (q *Queue) RunAll() int {
+	n := 0
+	for q.Step() {
+		n++
+	}
+	return n
+}
+
+// less orders events by time, breaking ties by scheduling sequence so
+// same-instant events fire in FIFO order.
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].idx = i
+	q.heap[j].idx = j
+}
+
+func (q *Queue) push(e *Event) {
+	e.idx = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.idx)
+}
+
+func (q *Queue) remove(i int) {
+	n := len(q.heap) - 1
+	e := q.heap[i]
+	if i != n {
+		q.swap(i, n)
+	}
+	q.heap[n] = nil
+	q.heap = q.heap[:n]
+	e.idx = -1
+	if i < n {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

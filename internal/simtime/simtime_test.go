@@ -1,0 +1,198 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/rng"
+)
+
+func TestFiringOrder(t *testing.T) {
+	q := &Queue{}
+	var got []int
+	q.At(30*time.Millisecond, func(Time) { got = append(got, 3) })
+	q.At(10*time.Millisecond, func(Time) { got = append(got, 1) })
+	q.At(20*time.Millisecond, func(Time) { got = append(got, 2) })
+	if n := q.RunAll(); n != 3 {
+		t.Fatalf("fired %d events, want 3", n)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("order %v", got)
+		}
+	}
+	if q.Now() != 30*time.Millisecond {
+		t.Fatalf("clock at %v, want 30ms", q.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	q := &Queue{}
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(time.Millisecond, func(Time) { got = append(got, i) })
+	}
+	q.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	q := &Queue{}
+	var at Time
+	q.After(5*time.Millisecond, func(now Time) {
+		q.After(7*time.Millisecond, func(now2 Time) { at = now2 })
+	})
+	q.RunAll()
+	if at != 12*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 12ms", at)
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	q := &Queue{}
+	var fired Time = -1
+	q.After(10*time.Millisecond, func(now Time) {
+		q.At(now-5*time.Millisecond, func(at Time) { fired = at })
+	})
+	q.RunAll()
+	if fired != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v, want clamp to 10ms", fired)
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	q := &Queue{}
+	fired := false
+	q.After(-time.Second, func(Time) { fired = true })
+	q.RunAll()
+	if !fired || q.Now() != 0 {
+		t.Fatalf("negative delay: fired=%v now=%v", fired, q.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := &Queue{}
+	fired := 0
+	e1 := q.After(time.Millisecond, func(Time) { fired++ })
+	q.After(2*time.Millisecond, func(Time) { fired++ })
+	q.Cancel(e1)
+	if !e1.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	q.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	_, f, c := q.Stats()
+	if f != 1 || c != 1 {
+		t.Fatalf("stats fired=%d cancelled=%d", f, c)
+	}
+}
+
+func TestCancelNilAndDouble(t *testing.T) {
+	q := &Queue{}
+	q.Cancel(nil) // must not panic
+	e := q.After(time.Millisecond, func(Time) {})
+	q.Cancel(e)
+	q.Cancel(e) // double cancel must not panic
+	q.RunAll()
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	q := &Queue{}
+	fired := false
+	var victim *Event
+	q.After(time.Millisecond, func(Time) { q.Cancel(victim) })
+	victim = q.After(2*time.Millisecond, func(Time) { fired = true })
+	q.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	q := &Queue{}
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		q.After(time.Duration(i)*time.Millisecond, func(Time) { fired++ })
+	}
+	n := q.Run(5 * time.Millisecond)
+	if n != 5 || fired != 5 {
+		t.Fatalf("Run(5ms) fired %d (%d), want 5", n, fired)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("pending %d, want 5", q.Len())
+	}
+	if q.Now() != 5*time.Millisecond {
+		t.Fatalf("clock %v, want 5ms", q.Now())
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	q := &Queue{}
+	if q.PeekTime() != Infinity {
+		t.Fatal("empty queue PeekTime should be Infinity")
+	}
+	q.After(3*time.Millisecond, func(Time) {})
+	if q.PeekTime() != 3*time.Millisecond {
+		t.Fatalf("PeekTime %v, want 3ms", q.PeekTime())
+	}
+}
+
+// TestHeapStress randomly schedules and cancels events and checks that
+// firing times are globally non-decreasing.
+func TestHeapStress(t *testing.T) {
+	q := &Queue{}
+	r := rng.New(7)
+	var last Time = -1
+	var pending []*Event
+	scheduled := 0
+	for i := 0; i < 200; i++ {
+		e := q.After(time.Duration(r.Intn(1000))*time.Millisecond, func(now Time) {
+			if now < last {
+				t.Fatalf("clock went backwards: %v < %v", now, last)
+			}
+			last = now
+		})
+		pending = append(pending, e)
+		scheduled++
+	}
+	for q.Len() > 0 {
+		// Randomly cancel, schedule, or step.
+		switch r.Intn(4) {
+		case 0:
+			q.Cancel(pending[r.Intn(len(pending))])
+		case 1:
+			if scheduled < 1000 {
+				e := q.After(time.Duration(r.Intn(500))*time.Millisecond, func(now Time) {
+					if now < last {
+						t.Fatalf("clock went backwards: %v < %v", now, last)
+					}
+					last = now
+				})
+				pending = append(pending, e)
+				scheduled++
+			}
+		default:
+			q.Step()
+		}
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	q := &Queue{}
+	r := rng.New(9)
+	for i := 0; i < 1024; i++ {
+		q.After(time.Duration(r.Intn(1_000_000)), func(Time) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.After(time.Duration(r.Intn(1_000_000)), func(Time) {})
+		q.Step()
+	}
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestTableIProbabilitiesSumToOne(t *testing.T) {
+	var sum float64
+	for _, row := range TableI() {
+		sum += row.Probability
+	}
+	// The paper's rows sum to 95.6%; the remaining mass sits in dropped
+	// <1% gaps. Our generator renormalizes, so just sanity-check.
+	if sum < 0.95 || sum > 1.0 {
+		t.Fatalf("Table I probability mass %v", sum)
+	}
+}
+
+func TestFibDurationMonotone(t *testing.T) {
+	prev := time.Duration(0)
+	for n := 10; n <= 40; n++ {
+		d := FibDuration(n)
+		if d <= prev {
+			t.Fatalf("FibDuration not monotone at N=%d: %v <= %v", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestFibCalibrationMatchesTableI(t *testing.T) {
+	// Table I says fib N in 20..26 finishes in under ~50ms and N 34-35
+	// lands in the >=1550ms range.
+	if d := FibDuration(26); d > 50*time.Millisecond {
+		t.Fatalf("fib(26) = %v, want <= 50ms", d)
+	}
+	if d := FibDuration(34); d < 1550*time.Millisecond/2 {
+		t.Fatalf("fib(34) = %v, too fast for the long mode", d)
+	}
+	// Round trip.
+	for _, n := range []int{20, 26, 30, 35} {
+		d := FibDuration(n)
+		if got := FibNFor(d); got != n {
+			t.Errorf("FibNFor(FibDuration(%d)) = %d", n, got)
+		}
+	}
+	if FibNFor(0) != 1 {
+		t.Error("FibNFor(0) should clamp to 1")
+	}
+}
+
+func TestTableIDistributionShape(t *testing.T) {
+	d := TableIDistribution()
+	r := rng.New(1)
+	const n = 200000
+	buckets := map[string]int{}
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		switch {
+		case v < ms(50):
+			buckets["0-50"]++
+		case v < ms(100):
+			buckets["50-100"]++
+		case v < ms(200):
+			buckets["100-200"]++
+		case v < ms(400):
+			buckets["200-400"]++
+		case v >= ms(1550):
+			buckets[">=1550"]++
+		default:
+			buckets["gap"]++
+		}
+	}
+	checks := map[string]float64{
+		"0-50": 0.406 / 0.956, "50-100": 0.098 / 0.956, "100-200": 0.068 / 0.956,
+		"200-400": 0.227 / 0.956, ">=1550": 0.157 / 0.956,
+	}
+	for k, want := range checks {
+		got := float64(buckets[k]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("bucket %s: %.3f, want %.3f", k, got, want)
+		}
+	}
+	if buckets["gap"] != 0 {
+		t.Errorf("%d samples landed in excluded gaps", buckets["gap"])
+	}
+	// Tail bounded by the Azure 99.9th percentile anchor.
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v > AzureTailCap {
+			t.Fatalf("sample %v exceeds tail cap", v)
+		}
+	}
+}
+
+func TestAppProfiles(t *testing.T) {
+	tk := newTask()
+	AppFib.Build(tk, ms(100))
+	if tk.Service != ms(100) || len(tk.IOOps) != 0 {
+		t.Fatalf("fib: svc=%v io=%d", tk.Service, len(tk.IOOps))
+	}
+
+	tk = newTask()
+	AppMd.Build(tk, ms(100))
+	if tk.Service != ms(35) {
+		t.Fatalf("md service %v", tk.Service)
+	}
+	if len(tk.IOOps) != 2 {
+		t.Fatalf("md io ops %d", len(tk.IOOps))
+	}
+	if tk.IOOps[0].At != 0 {
+		t.Fatal("md first IO should lead")
+	}
+	if tk.IdealDuration() != ms(100) {
+		t.Fatalf("md ideal %v", tk.IdealDuration())
+	}
+
+	tk = newTask()
+	AppSa.Build(tk, ms(100))
+	if tk.Service != ms(70) || len(tk.IOOps) != 1 {
+		t.Fatalf("sa: svc=%v io=%d", tk.Service, len(tk.IOOps))
+	}
+	if err := tk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateLoadCalibration(t *testing.T) {
+	for _, load := range []float64{0.5, 0.8, 1.0} {
+		w := Generate(Spec{N: 20000, Cores: 8, Load: load, Seed: 3})
+		got := w.OfferedLoad(8)
+		if math.Abs(got-load)/load > 0.08 {
+			t.Errorf("load %.2f: offered %.3f", load, got)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(Spec{N: 500, Cores: 4, Load: 0.8, Seed: 9})
+	b := Generate(Spec{N: 500, Cores: 4, Load: 0.8, Seed: 9})
+	for i := range a.Tasks {
+		if a.Tasks[i].Service != b.Tasks[i].Service || a.Tasks[i].Arrival != b.Tasks[i].Arrival {
+			t.Fatalf("same-seed workloads diverge at %d", i)
+		}
+	}
+	c := Generate(Spec{N: 500, Cores: 4, Load: 0.8, Seed: 10})
+	diff := false
+	for i := range a.Tasks {
+		if a.Tasks[i].Service != c.Tasks[i].Service {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateArrivalsMonotone(t *testing.T) {
+	w := Generate(Spec{N: 1000, Cores: 4, Load: 1.0, Seed: 4})
+	for i := 1; i < len(w.Tasks); i++ {
+		if w.Tasks[i].Arrival < w.Tasks[i-1].Arrival {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+	}
+}
+
+func TestGenerateIOKnob(t *testing.T) {
+	w := Generate(Spec{
+		N: 2000, Cores: 4, Load: 0.8, Seed: 5,
+		IOFraction: 0.75, IOMin: ms(10), IOMax: ms(100),
+	})
+	withIO := 0
+	for _, tk := range w.Tasks {
+		if len(tk.IOOps) > 0 {
+			withIO++
+			op := tk.IOOps[0]
+			if op.At != 0 {
+				t.Fatal("knob IO must lead the execution")
+			}
+			if op.Dur < ms(10) || op.Dur >= ms(100) {
+				t.Fatalf("IO duration %v outside [10,100)ms", op.Dur)
+			}
+		}
+		if err := tk.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frac := float64(withIO) / float64(len(w.Tasks))
+	if math.Abs(frac-0.75) > 0.05 {
+		t.Fatalf("IO fraction %.3f, want ~0.75", frac)
+	}
+}
+
+func TestGenerateAppMix(t *testing.T) {
+	w := Generate(Spec{
+		N: 3000, Cores: 4, Load: 0.8, Seed: 6,
+		Apps: []AppChoice{
+			{Profile: AppFib, Weight: 2},
+			{Profile: AppMd, Weight: 1},
+			{Profile: AppSa, Weight: 1},
+		},
+	})
+	counts := map[string]int{}
+	for _, tk := range w.Tasks {
+		counts[tk.App]++
+	}
+	fibFrac := float64(counts["fib"]) / float64(len(w.Tasks))
+	if math.Abs(fibFrac-0.5) > 0.05 {
+		t.Fatalf("fib fraction %.3f, want ~0.5 (counts %v)", fibFrac, counts)
+	}
+	if counts["md"] == 0 || counts["sa"] == 0 {
+		t.Fatalf("missing apps: %v", counts)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	w := Generate(Spec{N: 50, Cores: 2, Load: 0.8, Seed: 7})
+	c1 := w.Clone()
+	c1[0].CPUUsed = ms(5)
+	c1[0].CtxSwitches = 3
+	c2 := w.Clone()
+	if c2[0].CPUUsed != 0 || c2[0].CtxSwitches != 0 {
+		t.Fatal("clones share accounting state")
+	}
+	if w.Tasks[0].CPUUsed != 0 {
+		t.Fatal("clone mutated the original")
+	}
+}
+
+func TestCustomArrivalProcess(t *testing.T) {
+	w := Generate(Spec{
+		N: 4, Cores: 1, Seed: 8,
+		Arrival: dist.NewTraceProcess([]time.Duration{ms(10), ms(20), ms(30)}),
+	})
+	want := []time.Duration{0, ms(10), ms(30), ms(60)}
+	for i, tk := range w.Tasks {
+		if tk.Arrival != want[i] {
+			t.Fatalf("arrival %d = %v, want %v", i, tk.Arrival, want[i])
+		}
+	}
+}
+
+func newTask() *task.Task { return task.New(0, 0, time.Millisecond) }
