@@ -11,6 +11,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/live"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
 
@@ -62,6 +63,46 @@ func BenchmarkAblationWindow(b *testing.B)      { benchExperiment(b, "ablation-w
 func BenchmarkAblationOverload(b *testing.B)    { benchExperiment(b, "ablation-overload") }
 func BenchmarkAblationTail(b *testing.B)        { benchExperiment(b, "ablation-tail") }
 func BenchmarkAblationQueueing(b *testing.B)    { benchExperiment(b, "ablation-queueing") }
+func BenchmarkSynthRamp(b *testing.B)           { benchExperiment(b, "synth-ramp") }
+
+// BenchmarkTracePipeline measures streaming generation throughput
+// (invocations per second of wall time) of each scenario family pulled
+// through trace.Source, without materializing the stream.
+func BenchmarkTracePipeline(b *testing.B) {
+	const n = 5000
+	for _, fam := range []struct {
+		name string
+		mk   func(seed uint64) trace.Source
+	}{
+		{"table1-poisson", func(seed uint64) trace.Source {
+			return workload.Stream(workload.Spec{N: n, Cores: 16, Load: 0.8, Seed: seed})
+		}},
+		{"azure-sampled", func(seed uint64) trace.Source {
+			return workload.AzureSampledStream(workload.AzureSampledSpec{N: n, Cores: 16, Load: 1.0, Seed: seed})
+		}},
+		{"synth-ramp", func(seed uint64) trace.Source {
+			return workload.SyntheticStream(workload.SyntheticSpec{
+				Shape: trace.ShapeRamp, StartRPS: 100, TargetRPS: 1000,
+				N: n, Horizon: time.Hour, Seed: seed,
+			})
+		}},
+	} {
+		fam := fam
+		b.Run(fam.name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				src := fam.mk(uint64(i))
+				for {
+					if _, ok := src.Next(); !ok {
+						break
+					}
+					total++
+				}
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "inv/s")
+		})
+	}
+}
 
 // BenchmarkEngineThroughput measures raw simulator speed: virtual task
 // completions per second of wall time under each scheduler.

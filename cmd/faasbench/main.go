@@ -1,85 +1,161 @@
-// Command faasbench generates and inspects FaaS workloads modeled after
-// the Azure Functions traces (the paper's FaaSBench, §VII).
+// Command faasbench generates, exports, and replays FaaS invocation
+// traces through the streaming trace pipeline (the paper's FaaSBench,
+// §VII, plus an invitro-style synthetic RPS synthesizer).
+//
+// Subcommands:
+//
+//	faasbench gen    [flags]              # generate and summarize (default)
+//	faasbench export [flags] -o out.csv   # generate and stream to CSV
+//	faasbench replay -in out.csv [flags]  # replay a CSV trace in the simulator
+//
+// Scenario families (-arrivals):
+//
+//	poisson   Table I durations, Poisson IATs calibrated to -load
+//	trace     Azure-sampled bursty arrivals (§VII), optional -spikes
+//	synth     explicit RPS profile: -shape constant|ramp|step|sine,
+//	          -start-rps/-target-rps over -horizon (or -slots × -slot-dur,
+//	          the invitro synthesizer's RPS-slot staircase)
 //
 // Examples:
 //
-//	faasbench -n 10000 -cores 16 -load 0.8                # summarize
-//	faasbench -n 10000 -arrivals trace -spikes 5          # bursty trace
-//	faasbench -n 1000 -emit                               # CSV to stdout
+//	faasbench gen -n 10000 -cores 16 -load 0.8
+//	faasbench gen -arrivals trace -spikes 5
+//	faasbench export -arrivals synth -shape ramp -start-rps 50 -target-rps 500 -horizon 60s -o ramp.csv
+//	faasbench replay -in ramp.csv -sched SFS -cores 16
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/schedulers"
 	"github.com/serverless-sched/sfs/internal/stats"
+	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
 
 func main() {
-	var (
-		n          = flag.Int("n", 10000, "number of invocations")
-		cores      = flag.Int("cores", 16, "cores the load is calibrated for")
-		load       = flag.Float64("load", 0.8, "offered CPU load fraction")
-		arrivals   = flag.String("arrivals", "poisson", "arrival process: poisson or trace")
-		seed       = flag.Uint64("seed", 42, "RNG seed")
-		ioFraction = flag.Float64("io-fraction", 0, "fraction of requests with a leading I/O op")
-		spikes     = flag.Int("spikes", 0, "overload spikes to inject (trace arrivals only)")
-		mix        = flag.Bool("mix", false, "use the fib/md/sa application mix instead of pure fib")
-		emit       = flag.Bool("emit", false, "emit the workload as CSV instead of a summary")
-		save       = flag.String("save", "", "write the workload to a CSV file replayable by sfs-sim -workload")
-	)
-	flag.Parse()
-
-	var apps []workload.AppChoice
-	if *mix {
-		apps = []workload.AppChoice{
-			{Profile: workload.AppFib, Weight: 0.5},
-			{Profile: workload.AppMd, Weight: 0.25},
-			{Profile: workload.AppSa, Weight: 0.25},
-		}
+	args := os.Args[1:]
+	cmd := "gen"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
 	}
-
-	var w *workload.Workload
-	switch *arrivals {
-	case "poisson":
-		w = workload.Generate(workload.Spec{
-			N: *n, Cores: *cores, Load: *load, Seed: *seed,
-			IOFraction: *ioFraction, Apps: apps,
-		})
-	case "trace":
-		w = workload.AzureSampled(workload.AzureSampledSpec{
-			N: *n, Cores: *cores, Load: *load, Seed: *seed,
-			IOFraction: *ioFraction, Apps: apps, Spikes: *spikes,
-		})
+	switch cmd {
+	case "gen":
+		cmdGen(args)
+	case "export":
+		cmdExport(args)
+	case "replay":
+		cmdReplay(args)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown arrival process %q\n", *arrivals)
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want gen, export, or replay)\n", cmd)
 		os.Exit(1)
 	}
+}
 
-	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := workload.WriteCSV(f, w.Tasks); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d tasks to %s\n", len(w.Tasks), *save)
-		return
+// genFlags holds the generation flag set shared by gen and export.
+type genFlags struct {
+	fs         *flag.FlagSet
+	n          *int
+	cores      *int
+	load       *float64
+	arrivals   *string
+	seed       *uint64
+	ioFraction *float64
+	spikes     *int
+	mix        *bool
+	// synth shape flags (invitro synthesizer UX).
+	shape     *string
+	startRPS  *float64
+	targetRPS *float64
+	slots     *int
+	slotDur   *time.Duration
+	horizon   *time.Duration
+}
+
+func newGenFlags(name string) *genFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &genFlags{
+		fs:         fs,
+		n:          fs.Int("n", 10000, "number of invocations (synth: cap, 0 = until horizon)"),
+		cores:      fs.Int("cores", 16, "cores the load is calibrated for"),
+		load:       fs.Float64("load", 0.8, "offered CPU load fraction (poisson/trace)"),
+		arrivals:   fs.String("arrivals", "poisson", "scenario family: poisson, trace, or synth"),
+		seed:       fs.Uint64("seed", 42, "RNG seed"),
+		ioFraction: fs.Float64("io-fraction", 0, "fraction of requests with a leading I/O op"),
+		spikes:     fs.Int("spikes", 0, "overload spikes to inject (trace arrivals only)"),
+		mix:        fs.Bool("mix", false, "use the fib/md/sa application mix instead of pure fib"),
+		shape:      fs.String("shape", "ramp", "synth RPS profile: constant, ramp, step, or sine"),
+		startRPS:   fs.Float64("start-rps", 50, "synth: starting RPS value"),
+		targetRPS:  fs.Float64("target-rps", 500, "synth: target RPS reached in the last slot / at the horizon"),
+		slots:      fs.Int("slots", 10, "synth step: number of fixed-RPS slots"),
+		slotDur:    fs.Duration("slot-dur", 10*time.Second, "synth step: duration of each RPS slot"),
+		horizon:    fs.Duration("horizon", 60*time.Second, "synth: total trace span (ramp/sine/constant)"),
 	}
+}
 
+func (g *genFlags) apps() []workload.AppChoice {
+	if !*g.mix {
+		return nil
+	}
+	return []workload.AppChoice{
+		{Profile: workload.AppFib, Weight: 0.5},
+		{Profile: workload.AppMd, Weight: 0.25},
+		{Profile: workload.AppSa, Weight: 0.25},
+	}
+}
+
+// source builds the configured scenario family as a trace.Source.
+func (g *genFlags) source() trace.Source {
+	switch *g.arrivals {
+	case "poisson":
+		return workload.Stream(workload.Spec{
+			N: *g.n, Cores: *g.cores, Load: *g.load, Seed: *g.seed,
+			IOFraction: *g.ioFraction, Apps: g.apps(),
+		})
+	case "trace":
+		return workload.AzureSampledStream(workload.AzureSampledSpec{
+			N: *g.n, Cores: *g.cores, Load: *g.load, Seed: *g.seed,
+			IOFraction: *g.ioFraction, Apps: g.apps(), Spikes: *g.spikes,
+		})
+	case "synth":
+		shape, err := trace.ParseShape(*g.shape)
+		if err != nil {
+			fatal(err)
+		}
+		spec := workload.SyntheticSpec{
+			Shape: shape, StartRPS: *g.startRPS, TargetRPS: *g.targetRPS,
+			Slots: *g.slots, SlotDur: *g.slotDur, N: *g.n,
+			IOFraction: *g.ioFraction, Apps: g.apps(), Seed: *g.seed,
+		}
+		if shape != trace.ShapeStep {
+			spec.Horizon = *g.horizon
+		}
+		return workload.SyntheticStream(spec)
+	default:
+		fatal(fmt.Errorf("unknown arrival family %q (want poisson, trace, or synth)", *g.arrivals))
+		return nil
+	}
+}
+
+func cmdGen(args []string) {
+	g := newGenFlags("gen")
+	emit := g.fs.Bool("emit", false, "emit the trace as per-invocation CSV to stdout instead of a summary")
+	g.fs.Parse(args)
+	src := g.source()
 	if *emit {
 		fmt.Println("id,app,arrival_ms,service_ms,io_ops,io_total_ms")
-		for _, t := range w.Tasks {
+		for {
+			t, ok := src.Next()
+			if !ok {
+				break
+			}
 			fmt.Printf("%d,%s,%.3f,%.3f,%d,%.3f\n",
 				t.ID, t.App,
 				float64(t.Arrival)/float64(time.Millisecond),
@@ -87,23 +163,133 @@ func main() {
 				len(t.IOOps),
 				float64(t.TotalIO())/float64(time.Millisecond))
 		}
+		checkErr(src)
 		return
 	}
+	summarize(src, *g.cores)
+}
 
-	fmt.Printf("workload: %s\n", w.Description)
-	fmt.Printf("requests: %d, mean service %v, mean IAT %v, offered load on %d cores: %.3f\n",
-		len(w.Tasks), w.MeanService, w.MeanIAT, *cores, w.OfferedLoad(*cores))
+func cmdExport(args []string) {
+	g := newGenFlags("export")
+	out := g.fs.String("o", "", "output CSV path (default stdout); replayable by faasbench replay and sfs-sim -workload")
+	g.fs.Parse(args)
+	src := g.source()
+	w := os.Stdout
+	var f *os.File
+	if *out != "" {
+		var err error
+		if f, err = os.Create(*out); err != nil {
+			fatal(err)
+		}
+		w = f
+	}
+	n, err := trace.WriteCSV(w, src)
+	if err != nil {
+		fatal(err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d invocations to %s (%s)\n", n, *out, src)
+	}
+}
 
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "trace CSV to replay (required)")
+	schedName := fs.String("sched", "", "simulate the trace under a scheduler ("+strings.Join(schedulers.Names(), ", ")+"); empty = summarize only")
+	cores := fs.Int("cores", 16, "cores of the simulated host")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("replay needs -in trace.csv"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	src, err := trace.NewCSVSource(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *schedName == "" {
+		summarize(src, *cores)
+		return
+	}
+	s := mkScheduler(*schedName)
+	tasks := trace.Collect(src)
+	checkErr(src)
+	if len(tasks) == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
+	eng := cpusim.NewEngine(cpusim.Config{Cores: *cores, Deadline: 10000 * time.Hour}, s)
+	eng.Submit(tasks...)
+	start := time.Now()
+	makespan := eng.Run()
+	fmt.Printf("replayed %d invocations from %s under %s on %d cores\n", len(tasks), *in, s.Name(), *cores)
+	fmt.Printf("simulated %v of virtual time in %v wall time (%d ctx switches, %.0f%% utilization)\n",
+		makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
+		eng.TotalCtxSwitches, eng.Utilization()*100)
+	r := metrics.Run{Scheduler: s.Name(), Tasks: tasks}
+	ps := r.Percentiles([]float64{50, 90, 99, 99.9})
+	fmt.Printf("turnaround: p50=%s p90=%s p99=%s p99.9=%s mean=%s\n",
+		metrics.FormatDuration(ps[0]), metrics.FormatDuration(ps[1]),
+		metrics.FormatDuration(ps[2]), metrics.FormatDuration(ps[3]),
+		metrics.FormatDuration(r.MeanTurnaround()))
+	for _, bound := range []float64{0.5, 0.95} {
+		fmt.Printf("RTE >= %.2f: %.1f%% of requests\n", bound, 100*r.FractionRTEAtLeast(bound))
+	}
+}
+
+func mkScheduler(name string) cpusim.Scheduler {
+	s, err := schedulers.New(name)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+// summarize streams a source once, printing the headline statistics and
+// the Table I range check.
+func summarize(src trace.Source, cores int) {
 	var durs []time.Duration
 	byApp := map[string]int{}
 	withIO := 0
-	for _, t := range w.Tasks {
+	var tasks []*task.Task
+	for {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		tasks = append(tasks, t)
 		durs = append(durs, t.IdealDuration())
 		byApp[t.App]++
 		if len(t.IOOps) > 0 {
 			withIO++
 		}
 	}
+	checkErr(src)
+	if len(tasks) == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
+
+	var svcSum time.Duration
+	for _, t := range tasks {
+		svcSum += t.Service
+	}
+	meanCPU := svcSum / time.Duration(len(tasks))
+	span := time.Duration(tasks[len(tasks)-1].Arrival - tasks[0].Arrival)
+	meanIAT := time.Duration(0)
+	offered := 0.0
+	if len(tasks) > 1 && span > 0 {
+		meanIAT = span / time.Duration(len(tasks)-1)
+		offered = float64(meanCPU) / float64(meanIAT) / float64(cores)
+	}
+
+	fmt.Printf("trace: %s\n", src)
+	fmt.Printf("requests: %d, span %v, mean CPU demand %v, mean IAT %v, offered load on %d cores: %.3f\n",
+		len(tasks), span.Round(time.Millisecond), meanCPU, meanIAT, cores, offered)
 	ps := stats.DurationPercentiles(durs, []float64{50, 90, 99, 99.9})
 	fmt.Printf("ideal duration percentiles: p50=%v p90=%v p99=%v p99.9=%v\n", ps[0], ps[1], ps[2], ps[3])
 	fmt.Printf("apps: %v; %d requests carry I/O ops\n", byApp, withIO)
@@ -124,4 +310,15 @@ func main() {
 		fmt.Printf("  %s  paper %5.1f%%  generated %5.1f%%\n",
 			rangeStr, row.Probability*100, 100*float64(count)/float64(len(durs)))
 	}
+}
+
+func checkErr(src trace.Source) {
+	if err := trace.Err(src); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -20,8 +20,10 @@ import (
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/schedulers"
 	"github.com/serverless-sched/sfs/internal/stats"
 	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
 
@@ -31,14 +33,17 @@ func main() {
 		n          = flag.Int("n", 10000, "number of function invocations")
 		cores      = flag.Int("cores", 16, "CPU cores")
 		load       = flag.Float64("load", 1.0, "offered CPU load fraction")
-		arrivals   = flag.String("arrivals", "poisson", "arrival process: poisson or trace")
+		arrivals   = flag.String("arrivals", "poisson", "arrival process: poisson, trace, or synth (RPS ramp)")
 		seed       = flag.Uint64("seed", 42, "RNG seed")
 		fixedSlice = flag.Duration("fixed-slice", 0, "pin the SFS time slice (0 = adaptive)")
 		poll       = flag.Duration("poll", 4*time.Millisecond, "SFS kernel-status polling interval")
 		noHybrid   = flag.Bool("no-hybrid", false, "disable SFS overload fallback")
 		noIO       = flag.Bool("io-oblivious", false, "disable SFS I/O-aware polling")
 		ioFraction = flag.Float64("io-fraction", 0, "fraction of requests with one leading 10-100ms I/O op")
-		wlFile     = flag.String("workload", "", "replay a workload CSV (see cmd/faasbench -save) instead of generating one")
+		wlFile     = flag.String("workload", "", "replay a workload CSV (see faasbench export) instead of generating one")
+		startRPS   = flag.Float64("start-rps", 50, "synth arrivals: starting RPS")
+		targetRPS  = flag.Float64("target-rps", 500, "synth arrivals: RPS at the end of the ramp")
+		horizon    = flag.Duration("horizon", 60*time.Second, "synth arrivals: trace span")
 	)
 	flag.Parse()
 
@@ -68,6 +73,11 @@ func main() {
 		w = workload.AzureSampled(workload.AzureSampledSpec{
 			N: *n, Cores: *cores, Load: *load, Seed: *seed, IOFraction: *ioFraction,
 		})
+	case "synth":
+		w = workload.Synthetic(workload.SyntheticSpec{
+			Shape: trace.ShapeRamp, StartRPS: *startRPS, TargetRPS: *targetRPS,
+			Horizon: *horizon, N: *n, Seed: *seed, IOFraction: *ioFraction,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown arrival process %q\n", *arrivals)
 		os.Exit(1)
@@ -91,27 +101,16 @@ func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll
 		cfg.IOAware = !noIO
 		sfs = core.New(cfg)
 		s = sfs
-	case "CFS":
-		s = sched.NewCFS(sched.CFSConfig{})
-	case "EEVDF":
-		s = sched.NewEEVDF(sched.EEVDFConfig{})
-	case "FIFO":
-		s = sched.NewFIFO()
-	case "RR":
-		s = sched.NewRR(0)
-	case "SRTF":
-		s = sched.NewSRTF()
-	case "COREGRANULAR":
-		s = sched.NewCoreGranular()
-	case "LOTTERY":
-		s = sched.NewLottery(0, 1)
 	case "IDEAL":
 		sched.RunIdeal(tasks)
 		report(metrics.Run{Scheduler: "IDEAL", Tasks: tasks}, nil, 0, nil)
 		return
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", schedName)
-		os.Exit(1)
+		var err error
+		if s, err = schedulers.New(schedName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	eng := cpusim.NewEngine(cpusim.Config{Cores: cores, Deadline: 10000 * time.Hour}, s)

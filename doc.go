@@ -11,6 +11,10 @@
 //   - SFS itself — the two-level FILTER+CFS user-space scheduler with
 //     dynamic time slices, I/O polling, and hybrid overload handling
 //     (internal/core);
+//   - a streaming trace pipeline: one pull-based trace.Source interface
+//     unifying every scenario family — Azure-sampled replays, the
+//     paper's Table I mixture, synthetic RPS ramps — with deterministic
+//     CSV export/import (internal/trace, internal/dist);
 //   - FaaSBench, the Azure-trace-modeled workload generator
 //     (internal/workload, internal/azure);
 //   - an OpenLambda-like FaaS platform simulation (internal/faas);
@@ -20,7 +24,6 @@
 //     the paper's evaluation (internal/experiments).
 //
 // The root package holds the benchmark harness: one testing.B benchmark
-// per paper table/figure (bench_test.go). See README.md for a tour,
-// DESIGN.md for the system inventory, and EXPERIMENTS.md for
-// paper-vs-measured results.
+// per paper table/figure (bench_test.go). See README.md for a package
+// tour, quickstart, and how to run the benchmarks.
 package sfs

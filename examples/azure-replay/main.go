@@ -14,13 +14,14 @@ import (
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
 
 const cores = 12
 
 func replay(w *workload.Workload, s cpusim.Scheduler) metrics.Run {
-	tasks := w.Clone()
+	tasks := trace.Collect(w.Source())
 	eng := cpusim.NewEngine(cpusim.Config{Cores: cores, Deadline: 100 * time.Hour}, s)
 	eng.Submit(tasks...)
 	eng.Run()

@@ -13,6 +13,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
 
@@ -30,9 +31,10 @@ func main() {
 	fmt.Printf("workload: %s\n", w.Description)
 	fmt.Printf("mean service %v, mean IAT %v\n\n", w.MeanService, w.MeanIAT)
 
-	// 2. Replay the identical invocation stream under each scheduler.
+	// 2. Replay the identical invocation stream under each scheduler,
+	//    pulling it through the trace pipeline each time.
 	run := func(s cpusim.Scheduler) metrics.Run {
-		tasks := w.Clone()
+		tasks := trace.Collect(w.Source())
 		eng := cpusim.NewEngine(cpusim.Config{Cores: cores, Deadline: 100 * time.Hour}, s)
 		eng.Submit(tasks...)
 		makespan := eng.Run()

@@ -1,0 +1,3 @@
+module github.com/serverless-sched/sfs
+
+go 1.24

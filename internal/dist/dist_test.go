@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/rng"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// sampleMean draws n values and returns the empirical mean.
+func sampleMean(d Distribution, n int, seed uint64) time.Duration {
+	r := rng.New(seed)
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / time.Duration(n)
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: ms(10), Hi: ms(100)}
+	r := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		v := u.Sample(r)
+		if v < ms(10) || v >= ms(100) {
+			t.Fatalf("sample %v outside [10ms,100ms)", v)
+		}
+	}
+	if u.Mean() != ms(55) {
+		t.Fatalf("mean %v, want 55ms", u.Mean())
+	}
+	got := sampleMean(u, 50000, 2)
+	if math.Abs(float64(got-u.Mean()))/float64(u.Mean()) > 0.02 {
+		t.Fatalf("empirical mean %v far from analytic %v", got, u.Mean())
+	}
+	// Degenerate range collapses to Lo.
+	if (Uniform{Lo: ms(5), Hi: ms(5)}).Sample(r) != ms(5) {
+		t.Fatal("degenerate uniform should return Lo")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{Value: ms(42)}
+	if c.Sample(nil) != ms(42) || c.Mean() != ms(42) {
+		t.Fatal("constant must always return Value")
+	}
+}
+
+func TestLognormal(t *testing.T) {
+	// Median 100ms, sigma 0.5.
+	l := Lognormal{Mu: math.Log(float64(ms(100))), Sigma: 0.5}
+	r := rng.New(3)
+	below := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if l.Sample(r) < ms(100) {
+			below++
+		}
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("median check: %.3f below exp(Mu), want 0.5", frac)
+	}
+	wantMean := time.Duration(float64(ms(100)) * math.Exp(0.125))
+	if got := l.Mean(); math.Abs(float64(got-wantMean))/float64(wantMean) > 1e-9 {
+		t.Fatalf("analytic mean %v, want %v", got, wantMean)
+	}
+	got := sampleMean(l, 200000, 4)
+	if math.Abs(float64(got-wantMean))/float64(wantMean) > 0.02 {
+		t.Fatalf("empirical mean %v far from analytic %v", got, wantMean)
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture(
+		Mode{Weight: 3, Dist: Constant{Value: ms(1)}},
+		Mode{Weight: 1, Dist: Constant{Value: ms(100)}},
+	)
+	r := rng.New(5)
+	short := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Sample(r) == ms(1) {
+			short++
+		}
+	}
+	if frac := float64(short) / n; math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("mode selection %.3f, want 0.75", frac)
+	}
+	// Weighted mean: (3*1 + 1*100)/4 = 25.75ms.
+	if got, want := m.Mean(), time.Duration(25.75*float64(ms(1))); got != want {
+		t.Fatalf("mixture mean %v, want %v", got, want)
+	}
+}
+
+func TestMixtureZeroWeightModeNeverSampled(t *testing.T) {
+	m := NewMixture(
+		Mode{Weight: 0, Dist: Constant{Value: ms(999)}},
+		Mode{Weight: 1, Dist: Constant{Value: ms(1)}},
+	)
+	r := rng.New(6)
+	for i := 0; i < 1000; i++ {
+		if m.Sample(r) != ms(1) {
+			t.Fatal("zero-weight mode sampled")
+		}
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no modes":        func() { NewMixture() },
+		"zero total":      func() { NewMixture(Mode{Weight: 0, Dist: Constant{}}) },
+		"negative weight": func() { NewMixture(Mode{Weight: -1, Dist: Constant{}}) },
+		"nil dist":        func() { NewMixture(Mode{Weight: 1, Dist: nil}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPoissonProcess(t *testing.T) {
+	p := PoissonProcess{Mean: ms(20)}
+	r := rng.New(7)
+	var sum time.Duration
+	const n = 100000
+	for i := 0; i < n; i++ {
+		iat := p.NextIAT(r)
+		if iat < 0 {
+			t.Fatal("negative IAT")
+		}
+		sum += iat
+	}
+	got := sum / time.Duration(n)
+	if math.Abs(float64(got-ms(20)))/float64(ms(20)) > 0.02 {
+		t.Fatalf("mean IAT %v, want ~20ms", got)
+	}
+}
+
+func TestTraceProcessReplaysAndCycles(t *testing.T) {
+	tp := NewTraceProcess([]time.Duration{ms(1), ms(2), ms(3)})
+	if tp.Len() != 3 {
+		t.Fatalf("len %d", tp.Len())
+	}
+	want := []time.Duration{ms(1), ms(2), ms(3), ms(1), ms(2)}
+	for i, w := range want {
+		if got := tp.NextIAT(nil); got != w {
+			t.Fatalf("IAT %d = %v, want %v", i, got, w)
+		}
+	}
+	empty := NewTraceProcess(nil)
+	if empty.NextIAT(nil) != 0 {
+		t.Fatal("empty trace should return 0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := NewMixture(
+		Mode{Weight: 0.4, Dist: Uniform{Lo: 0, Hi: ms(50)}},
+		Mode{Weight: 0.6, Dist: Lognormal{Mu: math.Log(float64(ms(10))), Sigma: 1}},
+	)
+	a, b := rng.New(9), rng.New(9)
+	for i := 0; i < 1000; i++ {
+		if m.Sample(a) != m.Sample(b) {
+			t.Fatal("same-seed sampling diverged")
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	// Provenance strings must be non-empty and stable enough to embed in
+	// workload descriptions.
+	for _, d := range []Distribution{
+		Uniform{Lo: 0, Hi: ms(50)},
+		Constant{Value: ms(1)},
+		Lognormal{Mu: math.Log(float64(ms(10))), Sigma: 1},
+		NewMixture(Mode{Weight: 1, Dist: Constant{Value: ms(1)}}),
+	} {
+		if d.String() == "" {
+			t.Errorf("%T: empty String()", d)
+		}
+	}
+	if (PoissonProcess{Mean: ms(5)}).String() == "" || NewTraceProcess(nil).String() == "" {
+		t.Error("arrival processes need String()")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/dist"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
 
@@ -123,12 +124,17 @@ func sample(d dist.Distribution, r *rng.RNG) time.Duration {
 }
 
 // Run executes the workload on the platform under the given scheduler.
-// The tasks' Arrival fields are interpreted as HTTP invocation times;
-// the engine sees them shifted by the sampled dispatch overheads, and
-// afterwards the timestamps are restored so Turnaround()/RTE() are
-// end-to-end.
 func (p *Platform) Run(w *workload.Workload, s cpusim.Scheduler) Result {
-	tasks := w.Clone()
+	return p.RunTrace(w.Source(), s)
+}
+
+// RunTrace executes an invocation stream on the platform under the given
+// scheduler. The stream's Arrival fields are interpreted as HTTP
+// invocation times; the engine sees them shifted by the sampled dispatch
+// overheads, and afterwards the timestamps are restored so
+// Turnaround()/RTE() are end-to-end.
+func (p *Platform) RunTrace(src trace.Source, s cpusim.Scheduler) Result {
+	tasks := trace.Collect(src)
 	r := rng.New(p.cfg.Seed ^ 0xfaa5)
 	pre := make([]time.Duration, len(tasks))
 	post := make([]time.Duration, len(tasks))
@@ -167,13 +173,16 @@ func (p *Platform) Run(w *workload.Workload, s cpusim.Scheduler) Result {
 			t.Finish += post[i]
 		}
 	}
-	return Result{
-		Run:                  metrics.Run{Scheduler: s.Name(), Tasks: tasks},
-		Makespan:             makespan,
-		Engine:               eng,
-		ColdStarts:           cold,
-		MeanDispatchOverhead: overheadSum / time.Duration(len(tasks)),
+	res := Result{
+		Run:        metrics.Run{Scheduler: s.Name(), Tasks: tasks},
+		Makespan:   makespan,
+		Engine:     eng,
+		ColdStarts: cold,
 	}
+	if len(tasks) > 0 {
+		res.MeanDispatchOverhead = overheadSum / time.Duration(len(tasks))
+	}
+	return res
 }
 
 // OpenLambdaWorkload builds the §IX workload: the Azure-sampled trace

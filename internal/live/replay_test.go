@@ -1,0 +1,89 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
+)
+
+// replayTrace builds a tiny trace: short CPU bursts arriving 5ms apart,
+// one with an I/O op.
+func replayTrace() trace.Source {
+	a := task.New(0, 0, 2*time.Millisecond)
+	a.App = "short"
+	b := task.New(1, 5*time.Millisecond, 2*time.Millisecond)
+	b.App = "io"
+	b.WithIO(time.Millisecond, 10*time.Millisecond)
+	c := task.New(2, 10*time.Millisecond, 2*time.Millisecond)
+	c.App = "short"
+	return trace.FromTasks("replay-test", []*task.Task{a, b, c})
+}
+
+func TestReplayExecutesWholeTrace(t *testing.T) {
+	s := newStarted(t, Config{Workers: 2, InitialSlice: 500 * time.Millisecond})
+	rep, err := Replay(s, replayTrace(), ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 3 || rep.Dropped != 0 {
+		t.Fatalf("submitted %d dropped %d", rep.Submitted, rep.Dropped)
+	}
+	if rep.Summary.N != 3 {
+		t.Fatalf("summary over %d results", rep.Summary.N)
+	}
+	if rep.Summary.FilterComplete != 3 {
+		t.Fatalf("%d of 3 completed in FILTER", rep.Summary.FilterComplete)
+	}
+	// Arrival pacing: the whole trace spans 10ms, so wall time must be
+	// at least that (plus the last function's work).
+	if rep.Wall < 10*time.Millisecond {
+		t.Fatalf("replay finished in %v, faster than the trace span", rep.Wall)
+	}
+	for _, r := range rep.Results {
+		if r.Turnaround() <= 0 {
+			t.Fatal("non-positive turnaround")
+		}
+	}
+}
+
+func TestReplaySpeedupAndCap(t *testing.T) {
+	// A 2s-long trace replayed 100x compressed must finish in far less
+	// than 2s of wall time.
+	tasks := make([]*task.Task, 20)
+	for i := range tasks {
+		tk := task.New(i, time.Duration(i)*100*time.Millisecond, 5*time.Millisecond)
+		tk.App = "paced"
+		tasks[i] = tk
+	}
+	s := newStarted(t, Config{Workers: 2, InitialSlice: 500 * time.Millisecond})
+	rep, err := Replay(s, trace.FromTasks("paced", tasks), ReplayConfig{Speedup: 100, MaxN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 10 {
+		t.Fatalf("MaxN ignored: %d submitted", rep.Submitted)
+	}
+	if rep.Wall > time.Second {
+		t.Fatalf("compressed replay took %v", rep.Wall)
+	}
+}
+
+func TestReplayClampsHeavyTail(t *testing.T) {
+	tk := task.New(0, 0, 10*time.Second) // would spin 10s uncapped
+	tk.App = "heavy"
+	s := newStarted(t, Config{Workers: 1, InitialSlice: time.Second})
+	start := time.Now()
+	rep, err := Replay(s, trace.FromTasks("heavy", []*task.Task{tk}),
+		ReplayConfig{MaxService: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 1 {
+		t.Fatalf("submitted %d", rep.Submitted)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("clamp ineffective: replay took %v", elapsed)
+	}
+}

@@ -1,0 +1,45 @@
+// Package schedulers is the shared name → constructor registry for the
+// CLIs and harnesses that select a scheduler from a flag, so the set of
+// recognized names cannot drift between tools.
+//
+// It lives outside internal/sched because SFS (internal/core) itself
+// imports internal/sched for its second scheduling level.
+package schedulers
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/serverless-sched/sfs/internal/core"
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/sched"
+)
+
+// constructors maps canonical names to default-config constructors.
+var constructors = map[string]func() cpusim.Scheduler{
+	"SFS":          func() cpusim.Scheduler { return core.New(core.DefaultConfig()) },
+	"CFS":          func() cpusim.Scheduler { return sched.NewCFS(sched.CFSConfig{}) },
+	"EEVDF":        func() cpusim.Scheduler { return sched.NewEEVDF(sched.EEVDFConfig{}) },
+	"FIFO":         func() cpusim.Scheduler { return sched.NewFIFO() },
+	"RR":           func() cpusim.Scheduler { return sched.NewRR(0) },
+	"SRTF":         func() cpusim.Scheduler { return sched.NewSRTF() },
+	"COREGRANULAR": func() cpusim.Scheduler { return sched.NewCoreGranular() },
+	"LOTTERY":      func() cpusim.Scheduler { return sched.NewLottery(0, 1) },
+}
+
+// names in presentation order.
+var names = []string{"SFS", "CFS", "EEVDF", "FIFO", "RR", "SRTF", "COREGRANULAR", "LOTTERY"}
+
+// Names returns the canonical scheduler names New recognizes.
+func Names() []string { return append([]string(nil), names...) }
+
+// New constructs a scheduler by case-insensitive name with its default
+// configuration. Callers needing tuned configurations (e.g. sfs-sim's
+// SFS knobs) construct those directly and fall back here for the rest.
+func New(name string) (cpusim.Scheduler, error) {
+	mk, ok := constructors[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown scheduler %q (want one of %s)", name, strings.Join(names, ", "))
+	}
+	return mk(), nil
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// Trace persistence: any Source can be exported to CSV row by row and
+// replayed later (or on another machine) as an equivalent Source, which
+// is how experiment inputs are archived alongside results. Export is
+// streaming on both sides: writing pulls one invocation at a time, and
+// reading parses rows lazily, so a multi-gigabyte trace never lives in
+// memory.
+//
+// Schema: id,app,arrival_us,service_us,io_ops
+// where io_ops is a semicolon-separated list of at_us:dur_us pairs.
+// Timestamps are truncated to microseconds; one truncation is a fixed
+// point, so export → import → export is byte-identical.
+
+// csvHeader is the exported schema.
+var csvHeader = []string{"id", "app", "arrival_us", "service_us", "io_ops"}
+
+// WriteCSV streams src to w, returning the number of invocations
+// written. Both generation errors (via trace.Err) and write errors are
+// reported.
+func WriteCSV(w io.Writer, src Source) (int, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := cw.Write(record(t)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := Err(src); err != nil {
+		return n, err
+	}
+	cw.Flush()
+	return n, cw.Error()
+}
+
+// WriteTasksCSV serializes an already-materialized task slice (the
+// legacy entry point kept for workload archives).
+func WriteTasksCSV(w io.Writer, tasks []*task.Task) error {
+	_, err := WriteCSV(w, FromTasks("tasks", tasks))
+	return err
+}
+
+// record renders one invocation as a CSV row.
+func record(t *task.Task) []string {
+	var ops strings.Builder
+	for i, op := range t.IOOps {
+		if i > 0 {
+			ops.WriteByte(';')
+		}
+		fmt.Fprintf(&ops, "%d:%d", op.At.Microseconds(), op.Dur.Microseconds())
+	}
+	return []string{
+		strconv.Itoa(t.ID),
+		t.App,
+		strconv.FormatInt(t.Arrival.Microseconds(), 10),
+		strconv.FormatInt(t.Service.Microseconds(), 10),
+		ops.String(),
+	}
+}
+
+// csvSource lazily parses rows from a reader.
+type csvSource struct {
+	cr   *csv.Reader
+	row  int
+	err  error
+	done bool
+}
+
+// NewCSVSource opens a CSV trace for streaming replay. The header is
+// validated eagerly; rows are parsed on demand. Each parsed task is
+// validated, and the first invalid row terminates the stream with a
+// row-numbered error available via Err.
+func NewCSVSource(r io.Reader) (Source, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) < len(csvHeader) {
+		return nil, fmt.Errorf("trace: header %v, want %v", header, csvHeader)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	return &csvSource{cr: cr}, nil
+}
+
+// Next implements Source.
+func (s *csvSource) Next() (*task.Task, bool) {
+	if s.done {
+		return nil, false
+	}
+	s.row++
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return nil, false
+	}
+	if err != nil {
+		s.fail(fmt.Errorf("trace: row %d: %w", s.row, err))
+		return nil, false
+	}
+	t, err := parseRecord(rec)
+	if err != nil {
+		s.fail(fmt.Errorf("trace: row %d: %w", s.row, err))
+		return nil, false
+	}
+	return t, true
+}
+
+func (s *csvSource) fail(err error) {
+	s.err = err
+	s.done = true
+}
+
+// Err implements Failer.
+func (s *csvSource) Err() error { return s.err }
+
+// String implements Source.
+func (s *csvSource) String() string { return "csv" }
+
+// parseRecord parses and validates one CSV row.
+func parseRecord(rec []string) (*task.Task, error) {
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad id: %w", err)
+	}
+	arrUS, err := strconv.ParseInt(rec[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad arrival: %w", err)
+	}
+	svcUS, err := strconv.ParseInt(rec[3], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad service: %w", err)
+	}
+	t := task.New(id, simtime.Time(arrUS)*time.Microsecond, time.Duration(svcUS)*time.Microsecond)
+	t.App = rec[1]
+	if ops := rec[4]; ops != "" {
+		for _, pair := range strings.Split(ops, ";") {
+			at, dur, ok := strings.Cut(pair, ":")
+			if !ok {
+				return nil, fmt.Errorf("bad io op %q", pair)
+			}
+			atUS, err1 := strconv.ParseInt(at, 10, 64)
+			durUS, err2 := strconv.ParseInt(dur, 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad io op %q", pair)
+			}
+			t.WithIO(time.Duration(atUS)*time.Microsecond, time.Duration(durUS)*time.Microsecond)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadCSV materializes a CSV trace, the strict counterpart of
+// NewCSVSource for callers that need the whole workload.
+func ReadCSV(r io.Reader) ([]*task.Task, error) {
+	src, err := NewCSVSource(r)
+	if err != nil {
+		return nil, err
+	}
+	tasks := Collect(src)
+	if err := Err(src); err != nil {
+		return nil, err
+	}
+	return tasks, nil
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// Shape selects the request-rate profile of a synthetic trace, mirroring
+// the vhive/invitro trace synthesizer's RPS modes: a constant rate, a
+// linear ramp from a starting RPS to a target RPS, a staircase of fixed
+// RPS slots, and a sinusoidal diurnal-style wave.
+type Shape string
+
+// Shapes.
+const (
+	ShapeConstant Shape = "constant"
+	ShapeRamp     Shape = "ramp"
+	ShapeStep     Shape = "step"
+	ShapeSine     Shape = "sine"
+)
+
+// ParseShape validates a shape name from a CLI flag.
+func ParseShape(s string) (Shape, error) {
+	switch Shape(s) {
+	case ShapeConstant, ShapeRamp, ShapeStep, ShapeSine:
+		return Shape(s), nil
+	}
+	return "", fmt.Errorf("trace: unknown shape %q (want constant, ramp, step, or sine)", s)
+}
+
+// SynthSpec configures a synthetic invocation source.
+type SynthSpec struct {
+	// Shape is the RPS profile (default ShapeRamp).
+	Shape Shape
+	// StartRPS is the request rate at t=0 (requests per second).
+	StartRPS float64
+	// TargetRPS is the rate reached at the end of the horizon (ramp,
+	// step, sine peak). Defaults to StartRPS.
+	TargetRPS float64
+	// Slots is the number of fixed-RPS slots of the step shape (the
+	// invitro synthesizer's "RPS slots"; default 10).
+	Slots int
+	// SlotDur is the duration of one slot. When Horizon is zero the
+	// horizon is Slots*SlotDur.
+	SlotDur time.Duration
+	// Horizon is the trace's total time span. Required unless Slots and
+	// SlotDur define it.
+	Horizon time.Duration
+	// N caps the number of invocations (0 = until the horizon ends).
+	N int
+	// Duration samples each invocation's ideal duration.
+	Duration dist.Distribution
+	// App labels the emitted invocations (default "synth").
+	App string
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+// horizon resolves the spec's time span.
+func (s SynthSpec) horizon() time.Duration {
+	if s.Horizon > 0 {
+		return s.Horizon
+	}
+	return time.Duration(s.slots()) * s.SlotDur
+}
+
+func (s SynthSpec) slots() int {
+	if s.Slots <= 0 {
+		return 10
+	}
+	return s.Slots
+}
+
+// rps returns the instantaneous request rate at elapsed time t.
+func (s SynthSpec) rps(t, horizon time.Duration) float64 {
+	frac := float64(t) / float64(horizon)
+	switch s.Shape {
+	case ShapeConstant:
+		return s.StartRPS
+	case ShapeStep:
+		slots := s.slots()
+		k := int(frac * float64(slots))
+		if k >= slots {
+			k = slots - 1
+		}
+		if slots == 1 {
+			return s.StartRPS
+		}
+		return s.StartRPS + (s.TargetRPS-s.StartRPS)*float64(k)/float64(slots-1)
+	case ShapeSine:
+		mid := (s.StartRPS + s.TargetRPS) / 2
+		amp := (s.TargetRPS - s.StartRPS) / 2
+		return mid + amp*math.Sin(2*math.Pi*frac)
+	default: // ShapeRamp
+		return s.StartRPS + (s.TargetRPS-s.StartRPS)*frac
+	}
+}
+
+// peakRPS bounds the shape's rate from above (the thinning envelope).
+func (s SynthSpec) peakRPS() float64 {
+	return math.Max(s.StartRPS, s.TargetRPS)
+}
+
+// synthSource generates arrivals lazily via thinning of a
+// non-homogeneous Poisson process: candidate arrivals are drawn at the
+// peak rate and accepted with probability rate(t)/peak, so no arrival
+// table is ever materialized.
+type synthSource struct {
+	spec    SynthSpec
+	horizon time.Duration
+	arrR    *rng.RNG
+	durR    *rng.RNG
+	t       float64 // elapsed ns
+	id      int
+	done    bool
+}
+
+// NewSynthetic builds a synthetic source. It panics on an unusable spec
+// (no positive rate, no horizon, or nil duration distribution) because
+// specs are programmer-provided, as elsewhere in the generator layer.
+func NewSynthetic(spec SynthSpec) Source {
+	if spec.Shape == "" {
+		spec.Shape = ShapeRamp
+	}
+	if spec.TargetRPS == 0 {
+		spec.TargetRPS = spec.StartRPS
+	}
+	if spec.StartRPS < 0 || spec.TargetRPS < 0 {
+		panic("trace: negative RPS")
+	}
+	if spec.peakRPS() <= 0 {
+		panic("trace: synthetic trace needs a positive StartRPS or TargetRPS")
+	}
+	if spec.horizon() <= 0 {
+		panic("trace: synthetic trace needs Horizon or Slots*SlotDur")
+	}
+	if spec.Duration == nil {
+		panic("trace: synthetic trace needs a duration distribution")
+	}
+	if spec.App == "" {
+		spec.App = "synth"
+	}
+	r := rng.New(spec.Seed)
+	return &synthSource{
+		spec:    spec,
+		horizon: spec.horizon(),
+		arrR:    r.Split(),
+		durR:    r.Split(),
+	}
+}
+
+// Next implements Source.
+func (s *synthSource) Next() (*task.Task, bool) {
+	if s.done {
+		return nil, false
+	}
+	if s.spec.N > 0 && s.id >= s.spec.N {
+		s.done = true
+		return nil, false
+	}
+	peak := s.spec.peakRPS() / float64(time.Second) // arrivals per ns
+	for {
+		s.t += s.arrR.ExpFloat64() / peak
+		at := time.Duration(s.t)
+		if at >= s.horizon {
+			s.done = true
+			return nil, false
+		}
+		accept := s.spec.rps(at, s.horizon) / s.spec.peakRPS()
+		if s.arrR.Float64() >= accept {
+			continue
+		}
+		d := s.spec.Duration.Sample(s.durR)
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		t := task.New(s.id, simtime.Time(at), d)
+		t.App = s.spec.App
+		s.id++
+		return t, true
+	}
+}
+
+// String implements Source.
+func (s *synthSource) String() string {
+	return fmt.Sprintf("synth(shape=%s, rps=%g..%g, horizon=%v, dur=%s, seed=%d)",
+		s.spec.Shape, s.spec.StartRPS, s.spec.TargetRPS, s.horizon, s.spec.Duration, s.spec.Seed)
+}

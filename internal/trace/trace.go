@@ -1,0 +1,288 @@
+// Package trace is the streaming workload pipeline: every scenario
+// family in this repository — Azure-sampled replays, the paper's Table I
+// mixture, synthetic RPS ramps — is produced and consumed through one
+// pull-based Source interface instead of materialized task slices.
+//
+// A Source is an iterator of timestamped invocations in arrival order.
+// Sources are deterministic functions of their construction parameters
+// (spec + seed), so re-opening a source replays the identical stream;
+// that property is what makes traces exportable, replayable, and
+// byte-for-byte reproducible across machines. Combinators (Limit, Map,
+// Merge, Concat) compose sources without buffering; Collect materializes
+// one for consumers that need slices (the discrete-event engine).
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// Source is a pull-based iterator of timestamped invocations.
+//
+// Next returns invocations with non-decreasing Arrival fields and
+// yields ownership of each returned task: callers may mutate it freely.
+// After Next returns false the source is exhausted and every further
+// call must return false.
+type Source interface {
+	// Next returns the next invocation, or nil, false when the stream is
+	// exhausted.
+	Next() (*task.Task, bool)
+	// String describes the source's provenance (scenario family,
+	// parameters, seed).
+	String() string
+}
+
+// Failer is implemented by sources that can fail mid-stream (e.g. CSV
+// parsers). After Next returns false, Err distinguishes clean exhaustion
+// (nil) from a truncated stream.
+type Failer interface {
+	Err() error
+}
+
+// Err returns the terminal error of a source, or nil for sources that
+// cannot fail.
+func Err(src Source) error {
+	if f, ok := src.(Failer); ok {
+		return f.Err()
+	}
+	return nil
+}
+
+// funcSource adapts a closure to Source, optionally delegating Err to
+// the sources it derives from.
+type funcSource struct {
+	desc   string
+	next   func() (*task.Task, bool)
+	inners []Source
+}
+
+func (f *funcSource) Next() (*task.Task, bool) { return f.next() }
+func (f *funcSource) String() string           { return f.desc }
+
+// Err implements Failer: a derived source fails when any source it
+// draws from failed.
+func (f *funcSource) Err() error {
+	for _, s := range f.inners {
+		if err := Err(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// New adapts a next closure into a Source described by desc.
+func New(desc string, next func() (*task.Task, bool)) Source {
+	return &funcSource{desc: desc, next: next}
+}
+
+// Derive adapts a next closure into a Source whose Err reports the
+// first error of the sources it draws from — combinators and wrappers
+// must use this so a mid-stream failure (e.g. a malformed CSV row)
+// survives composition instead of reading as clean exhaustion.
+func Derive(desc string, next func() (*task.Task, bool), from ...Source) Source {
+	return &funcSource{desc: desc, next: next, inners: from}
+}
+
+// FromTasks returns a Source that replays tasks in order, yielding a
+// fresh copy of each with accounting reset — the streaming equivalent of
+// Workload.Clone, so one materialized trace can feed many runs.
+func FromTasks(desc string, tasks []*task.Task) Source {
+	i := 0
+	return New(desc, func() (*task.Task, bool) {
+		if i >= len(tasks) {
+			return nil, false
+		}
+		t := CloneTask(tasks[i])
+		i++
+		return t, true
+	})
+}
+
+// CloneTask deep-copies a task's definition (identity, arrival, service,
+// I/O ops, weight) with all accounting reset.
+func CloneTask(t *task.Task) *task.Task {
+	n := task.New(t.ID, t.Arrival, t.Service)
+	n.App = t.App
+	n.Weight = t.Weight
+	n.IOOps = append([]task.IOOp(nil), t.IOOps...)
+	return n
+}
+
+// Collect drains a source into a slice. Use trace.Err afterwards when
+// the source can fail mid-stream.
+func Collect(src Source) []*task.Task {
+	var out []*task.Task
+	for {
+		t, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Limit caps a source at n invocations.
+func Limit(src Source, n int) Source {
+	taken := 0
+	return Derive(fmt.Sprintf("limit(%d, %s)", n, src), func() (*task.Task, bool) {
+		if taken >= n {
+			return nil, false
+		}
+		t, ok := src.Next()
+		if !ok {
+			return nil, false
+		}
+		taken++
+		return t, true
+	}, src)
+}
+
+// Map applies fn to every invocation as it streams past. fn receives
+// ownership of the task and returns the (possibly same, possibly
+// replaced) task to emit; returning nil drops the invocation.
+func Map(src Source, fn func(*task.Task) *task.Task) Source {
+	return Derive(src.String(), func() (*task.Task, bool) {
+		for {
+			t, ok := src.Next()
+			if !ok {
+				return nil, false
+			}
+			if t = fn(t); t != nil {
+				return t, true
+			}
+		}
+	}, src)
+}
+
+// mergeItem is one source's head-of-stream in the merge heap.
+type mergeItem struct {
+	t   *task.Task
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int      { return len(h) }
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].t.Arrival != h[j].t.Arrival {
+		return h[i].t.Arrival < h[j].t.Arrival
+	}
+	return h[i].src < h[j].src // stable tie-break keeps merges deterministic
+}
+func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Merge interleaves sources by arrival time (k-way heap merge) — the
+// multi-tenant composition primitive: each tenant is a source, the
+// platform sees one stream. Task IDs are reassigned sequentially so the
+// merged stream has unique IDs.
+func Merge(srcs ...Source) Source {
+	h := make(mergeHeap, 0, len(srcs))
+	primed := false
+	id := 0
+	desc := "merge("
+	for i, s := range srcs {
+		if i > 0 {
+			desc += ", "
+		}
+		desc += s.String()
+	}
+	desc += ")"
+	return Derive(desc, func() (*task.Task, bool) {
+		if !primed {
+			primed = true
+			for i, s := range srcs {
+				if t, ok := s.Next(); ok {
+					h = append(h, mergeItem{t: t, src: i})
+				}
+			}
+			heap.Init(&h)
+		}
+		if h.Len() == 0 {
+			return nil, false
+		}
+		it := h[0]
+		if t, ok := srcs[it.src].Next(); ok {
+			h[0] = mergeItem{t: t, src: it.src}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+		it.t.ID = id
+		id++
+		return it.t, true
+	}, srcs...)
+}
+
+// Concat chains sources back to back: each source after the first is
+// time-shifted so its first arrival lands at the previous source's last
+// arrival — phased scenarios (warm-up, steady state, overload) as one
+// stream. Task IDs are reassigned sequentially.
+func Concat(srcs ...Source) Source {
+	cur, id := 0, 0
+	var offset, last simtime.Time // shift for the current source; last emitted arrival
+	rebased := true               // the first source passes through unshifted
+	desc := "concat("
+	for i, s := range srcs {
+		if i > 0 {
+			desc += ", "
+		}
+		desc += s.String()
+	}
+	desc += ")"
+	return Derive(desc, func() (*task.Task, bool) {
+		for cur < len(srcs) {
+			t, ok := srcs[cur].Next()
+			if !ok {
+				cur++
+				rebased = false
+				continue
+			}
+			if !rebased {
+				rebased = true
+				offset = last - t.Arrival // re-base this source to the seam
+			}
+			t.Arrival += offset
+			last = t.Arrival
+			t.ID = id
+			id++
+			return t, true
+		}
+		return nil, false
+	}, srcs...)
+}
+
+// Validate streams a source through task validation and a monotonicity
+// check, returning the invocation count or the first violation.
+func Validate(src Source) (int, error) {
+	n := 0
+	prev := task.New(0, -1, 1)
+	for {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := t.Validate(); err != nil {
+			return n, fmt.Errorf("trace: invocation %d: %w", n, err)
+		}
+		if t.Arrival < prev.Arrival {
+			return n, fmt.Errorf("trace: invocation %d arrives at %v before predecessor %v", n, t.Arrival, prev.Arrival)
+		}
+		prev = t
+		n++
+	}
+	if err := Err(src); err != nil {
+		return n, err
+	}
+	return n, nil
+}

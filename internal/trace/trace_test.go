@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// staticTasks builds a small fixed trace.
+func staticTasks() []*task.Task {
+	a := task.New(0, 0, ms(10))
+	a.App = "fib"
+	b := task.New(1, ms(5), ms(20))
+	b.App = "md"
+	b.WithIO(ms(2), ms(30))
+	c := task.New(2, ms(12), ms(5))
+	c.App = "sa"
+	return []*task.Task{a, b, c}
+}
+
+func TestFromTasksClones(t *testing.T) {
+	orig := staticTasks()
+	src := FromTasks("test", orig)
+	got := Collect(src)
+	if len(got) != 3 {
+		t.Fatalf("collected %d", len(got))
+	}
+	got[0].CPUUsed = ms(5)
+	got[1].IOOps[0].Dur = 0
+	if orig[0].CPUUsed != 0 || orig[1].IOOps[0].Dur != ms(30) {
+		t.Fatal("FromTasks must yield isolated copies")
+	}
+	// Exhausted source stays exhausted.
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source yielded")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	src := Limit(FromTasks("test", staticTasks()), 2)
+	if got := len(Collect(src)); got != 2 {
+		t.Fatalf("limit yielded %d", got)
+	}
+}
+
+func TestMapTransformAndDrop(t *testing.T) {
+	src := Map(FromTasks("test", staticTasks()), func(tk *task.Task) *task.Task {
+		if tk.App == "md" {
+			return nil // drop
+		}
+		tk.Weight = 2048
+		return tk
+	})
+	got := Collect(src)
+	if len(got) != 2 {
+		t.Fatalf("map yielded %d", len(got))
+	}
+	for _, tk := range got {
+		if tk.Weight != 2048 {
+			t.Fatal("map transform not applied")
+		}
+	}
+}
+
+func TestMergeOrdersByArrival(t *testing.T) {
+	a := []*task.Task{task.New(0, 0, ms(1)), task.New(1, ms(10), ms(1))}
+	b := []*task.Task{task.New(0, ms(5), ms(1)), task.New(1, ms(15), ms(1))}
+	got := Collect(Merge(FromTasks("a", a), FromTasks("b", b)))
+	if len(got) != 4 {
+		t.Fatalf("merged %d", len(got))
+	}
+	want := []simtime.Time{0, ms(5), ms(10), ms(15)}
+	for i, tk := range got {
+		if tk.Arrival != want[i] {
+			t.Fatalf("arrival %d = %v, want %v", i, tk.Arrival, want[i])
+		}
+		if tk.ID != i {
+			t.Fatalf("merged ID %d = %d, want sequential", i, tk.ID)
+		}
+	}
+}
+
+func TestConcatRebasesToSeam(t *testing.T) {
+	a := []*task.Task{task.New(0, 0, ms(1)), task.New(1, ms(10), ms(1))}
+	b := []*task.Task{task.New(0, ms(3), ms(1)), task.New(1, ms(7), ms(1))}
+	got := Collect(Concat(FromTasks("a", a), FromTasks("b", b)))
+	want := []simtime.Time{0, ms(10), ms(10), ms(14)}
+	if len(got) != 4 {
+		t.Fatalf("concat yielded %d", len(got))
+	}
+	for i, tk := range got {
+		if tk.Arrival != want[i] {
+			t.Fatalf("arrival %d = %v, want %v", i, tk.Arrival, want[i])
+		}
+		if tk.ID != i {
+			t.Fatalf("ID %d = %d", i, tk.ID)
+		}
+	}
+	if n, err := Validate(FromTasks("chk", got)); err != nil || n != 4 {
+		t.Fatalf("validate: n=%d err=%v", n, err)
+	}
+}
+
+func TestValidateCatchesDisorder(t *testing.T) {
+	bad := []*task.Task{task.New(0, ms(5), ms(1)), task.New(1, 0, ms(1))}
+	if _, err := Validate(FromTasks("bad", bad)); err == nil {
+		t.Fatal("out-of-order arrivals accepted")
+	}
+	invalid := []*task.Task{task.New(0, 0, 0)} // zero service
+	if _, err := Validate(FromTasks("bad2", invalid)); err == nil {
+		t.Fatal("invalid task accepted")
+	}
+}
+
+func synthSpec(seed uint64) SynthSpec {
+	return SynthSpec{
+		Shape:     ShapeRamp,
+		StartRPS:  50,
+		TargetRPS: 500,
+		Horizon:   20 * time.Second,
+		Duration:  dist.Uniform{Lo: ms(1), Hi: ms(50)},
+		Seed:      seed,
+	}
+}
+
+// TestTraceDeterminism is the satellite-task contract: the same seed
+// must produce a byte-identical trace through the whole pipeline,
+// including CSV export.
+func TestTraceDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	na, err := WriteCSV(&a, NewSynthetic(synthSpec(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := WriteCSV(&b, NewSynthetic(synthSpec(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na == 0 || na != nb {
+		t.Fatalf("counts %d vs %d", na, nb)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed traces are not byte-identical")
+	}
+	var c bytes.Buffer
+	if _, err := WriteCSV(&c, NewSynthetic(synthSpec(8))); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestCSVRoundTripEquivalentSource: export → import yields an equivalent
+// source (µs truncation is a fixed point, so a second export is
+// byte-identical).
+func TestCSVRoundTripEquivalentSource(t *testing.T) {
+	var first bytes.Buffer
+	n, err := WriteCSV(&first, NewSynthetic(synthSpec(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewCSVSource(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	n2, err := WriteCSV(&second, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n {
+		t.Fatalf("round trip lost invocations: %d vs %d", n2, n)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("export → import → export is not byte-identical")
+	}
+	// And the imported stream is a valid trace.
+	src2, err := NewCSVSource(bytes.NewReader(second.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Validate(src2); err != nil || got != n {
+		t.Fatalf("validate: n=%d err=%v", got, err)
+	}
+}
+
+func TestCSVSourceErrors(t *testing.T) {
+	if _, err := NewCSVSource(strings.NewReader("a,b,c,d,e\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	src, err := NewCSVSource(strings.NewReader("id,app,arrival_us,service_us,io_ops\n0,fib,0,1000,\nx,fib,0,1000,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.Next(); !ok {
+		t.Fatal("first row should parse")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("bad row should terminate the stream")
+	}
+	if Err(src) == nil {
+		t.Fatal("Err must report the parse failure")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("failed source must stay exhausted")
+	}
+}
+
+// TestCombinatorsPropagateErr: a mid-stream failure must survive
+// composition — a wrapped failing source cannot read as clean
+// exhaustion.
+func TestCombinatorsPropagateErr(t *testing.T) {
+	const brokenCSV = "id,app,arrival_us,service_us,io_ops\n0,fib,0,1000,\nx,fib,0,1000,\n"
+	mk := func() Source {
+		src, err := NewCSVSource(strings.NewReader(brokenCSV))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	for name, wrap := range map[string]func(Source) Source{
+		"limit":  func(s Source) Source { return Limit(s, 10) },
+		"map":    func(s Source) Source { return Map(s, func(tk *task.Task) *task.Task { return tk }) },
+		"merge":  func(s Source) Source { return Merge(s) },
+		"concat": func(s Source) Source { return Concat(s) },
+		"nested": func(s Source) Source { return Limit(Map(s, func(tk *task.Task) *task.Task { return tk }), 10) },
+	} {
+		src := wrap(mk())
+		got := Collect(src)
+		if len(got) != 1 {
+			t.Fatalf("%s: collected %d of the 1 valid row", name, len(got))
+		}
+		if Err(src) == nil {
+			t.Fatalf("%s swallowed the mid-stream failure", name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/azure"
 	"github.com/serverless-sched/sfs/internal/dist"
 	"github.com/serverless-sched/sfs/internal/queueing"
+	"github.com/serverless-sched/sfs/internal/trace"
 )
 
 // AzureSampledSpec configures the paper's canonical evaluation workload
@@ -32,11 +33,12 @@ type AzureSampledSpec struct {
 	SpikeWidth int
 }
 
-// AzureSampled generates the trace-driven workload: it first probes the
-// Table I duration distribution to learn the realized mean service time,
-// derives the mean IAT for the requested load, synthesizes per-app
-// bursty arrival processes around that rate, and replays them.
-func AzureSampled(spec AzureSampledSpec) *Workload {
+// azureSpec derives the plain generation spec behind an Azure-sampled
+// workload: it calibrates the mean IAT for the requested load from the
+// Table I distribution's analytic mean, synthesizes per-app bursty
+// arrival processes around that rate, and wires them in as a replayed
+// arrival trace.
+func azureSpec(spec AzureSampledSpec) Spec {
 	if spec.N <= 0 {
 		panic("workload: N must be positive")
 	}
@@ -46,10 +48,10 @@ func AzureSampled(spec AzureSampledSpec) *Workload {
 	if spec.Load <= 0 {
 		spec.Load = 1.0
 	}
-	// Probe pass: realized mean ideal duration for this N/seed, scaled
-	// by the app mix's CPU fraction so load reflects CPU demand.
-	probe := Generate(Spec{N: spec.N, Cores: spec.Cores, Load: spec.Load, Seed: spec.Seed})
-	meanCPU := time.Duration(float64(probe.MeanService) * meanCPUFraction(spec.Apps))
+	// Calibrate against the analytic mean ideal duration, scaled by the
+	// app mix's CPU fraction so load reflects CPU demand (I/O time
+	// occupies no core).
+	meanCPU := time.Duration(float64(TableIDistribution().Mean()) * meanCPUFraction(spec.Apps))
 	meanIAT := queueing.IATForLoad(meanCPU, spec.Cores, spec.Load)
 
 	tr := azure.Synthesize(5000, spec.Seed^0xa5a5)
@@ -79,17 +81,47 @@ func AzureSampled(spec AzureSampledSpec) *Workload {
 		}
 		iats = AddSpikes(iats, spec.Spikes, width)
 	}
-	w := Generate(Spec{
+	return Spec{
 		N:          spec.N,
 		Cores:      spec.Cores,
 		Seed:       spec.Seed,
 		Arrival:    dist.NewTraceProcess(iats),
 		Apps:       spec.Apps,
 		IOFraction: spec.IOFraction,
-	})
-	w.Description = fmt.Sprintf("azure-sampled(n=%d, load=%.0f%%, cores=%d, seed=%d, spikes=%d)",
-		spec.N, spec.Load*100, spec.Cores, spec.Seed, spec.Spikes)
-	return w
+	}
+}
+
+func azureDescription(spec AzureSampledSpec) string {
+	load := spec.Load
+	if load <= 0 {
+		load = 1.0
+	}
+	return fmt.Sprintf("azure-sampled(n=%d, load=%.0f%%, cores=%d, seed=%d, spikes=%d)",
+		spec.N, load*100, spec.Cores, spec.Seed, spec.Spikes)
+}
+
+// AzureSampledStream returns the canonical trace-driven workload as a
+// pull-based trace.Source. The per-app arrival synthesis is materialized
+// once (the merged MMPP needs a global sort), but invocations are built
+// lazily as the stream is pulled.
+func AzureSampledStream(spec AzureSampledSpec) trace.Source {
+	src, _ := stream(azureSpec(spec))
+	return trace.Derive(azureDescription(spec), src.Next, src)
+}
+
+// AzureSampled materializes the trace-driven workload by collecting its
+// stream.
+func AzureSampled(spec AzureSampledSpec) *Workload {
+	gen := azureSpec(spec)
+	src, stats := stream(gen)
+	tasks := trace.Collect(src)
+	return &Workload{
+		Tasks:       tasks,
+		Spec:        gen,
+		MeanService: stats.meanService(),
+		MeanIAT:     stats.meanIAT(),
+		Description: azureDescription(spec),
+	}
 }
 
 // AddSpikes returns a copy of iats with k transient-overload spikes: at

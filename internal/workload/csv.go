@@ -1,111 +1,24 @@
 package workload
 
 import (
-	"encoding/csv"
-	"fmt"
 	"io"
-	"strconv"
-	"strings"
-	"time"
 
-	"github.com/serverless-sched/sfs/internal/simtime"
 	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
 )
 
-// Workload persistence: a generated invocation stream can be written to
-// CSV and replayed later (or on another machine) bit-identically, which
-// is how experiment inputs are archived alongside results.
-//
-// Schema: id,app,arrival_us,service_us,io_ops
-// where io_ops is a semicolon-separated list of at_us:dur_us pairs.
+// Workload persistence lives in internal/trace, where it streams on both
+// sides; these wrappers keep the slice-shaped entry points that the
+// simulator CLIs archive and replay workloads through.
 
-// WriteCSV serializes tasks in arrival order.
+// WriteCSV serializes tasks in arrival order (see trace.WriteCSV for the
+// schema).
 func WriteCSV(w io.Writer, tasks []*task.Task) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"id", "app", "arrival_us", "service_us", "io_ops"}); err != nil {
-		return err
-	}
-	for _, t := range tasks {
-		var ops strings.Builder
-		for i, op := range t.IOOps {
-			if i > 0 {
-				ops.WriteByte(';')
-			}
-			fmt.Fprintf(&ops, "%d:%d", op.At.Microseconds(), op.Dur.Microseconds())
-		}
-		rec := []string{
-			strconv.Itoa(t.ID),
-			t.App,
-			strconv.FormatInt(t.Arrival.Microseconds(), 10),
-			strconv.FormatInt(t.Service.Microseconds(), 10),
-			ops.String(),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return trace.WriteTasksCSV(w, tasks)
 }
 
 // ReadCSV deserializes a workload written by WriteCSV. Tasks are
 // validated; the first invalid row aborts with a row-numbered error.
 func ReadCSV(r io.Reader) ([]*task.Task, error) {
-	cr := csv.NewReader(r)
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("workload: reading header: %w", err)
-	}
-	want := []string{"id", "app", "arrival_us", "service_us", "io_ops"}
-	if len(header) < len(want) {
-		return nil, fmt.Errorf("workload: header %v, want %v", header, want)
-	}
-	for i, h := range want {
-		if header[i] != h {
-			return nil, fmt.Errorf("workload: header column %d is %q, want %q", i, header[i], h)
-		}
-	}
-	var tasks []*task.Task
-	for row := 1; ; row++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("workload: row %d: %w", row, err)
-		}
-		id, err := strconv.Atoi(rec[0])
-		if err != nil {
-			return nil, fmt.Errorf("workload: row %d: bad id: %w", row, err)
-		}
-		arrUS, err := strconv.ParseInt(rec[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("workload: row %d: bad arrival: %w", row, err)
-		}
-		svcUS, err := strconv.ParseInt(rec[3], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("workload: row %d: bad service: %w", row, err)
-		}
-		t := task.New(id, simtime.Time(arrUS)*time.Microsecond, time.Duration(svcUS)*time.Microsecond)
-		t.App = rec[1]
-		if ops := rec[4]; ops != "" {
-			for _, pair := range strings.Split(ops, ";") {
-				at, dur, ok := strings.Cut(pair, ":")
-				if !ok {
-					return nil, fmt.Errorf("workload: row %d: bad io op %q", row, pair)
-				}
-				atUS, err1 := strconv.ParseInt(at, 10, 64)
-				durUS, err2 := strconv.ParseInt(dur, 10, 64)
-				if err1 != nil || err2 != nil {
-					return nil, fmt.Errorf("workload: row %d: bad io op %q", row, pair)
-				}
-				t.WithIO(time.Duration(atUS)*time.Microsecond, time.Duration(durUS)*time.Microsecond)
-			}
-		}
-		if err := t.Validate(); err != nil {
-			return nil, fmt.Errorf("workload: row %d: %w", row, err)
-		}
-		tasks = append(tasks, t)
-	}
-	return tasks, nil
+	return trace.ReadCSV(r)
 }

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
+)
+
+// SyntheticSpec configures an invitro-style synthetic workload: instead
+// of calibrating arrivals to an offered load, the request rate follows
+// an explicit RPS profile (constant, linear ramp, RPS-slot staircase, or
+// sine wave) over a horizon — the scenario family used to study how a
+// scheduler tracks load transitions rather than a steady state.
+type SyntheticSpec struct {
+	// Shape, StartRPS, TargetRPS, Slots, SlotDur, Horizon, and N
+	// parameterize the arrival profile exactly as trace.SynthSpec.
+	Shape     trace.Shape
+	StartRPS  float64
+	TargetRPS float64
+	Slots     int
+	SlotDur   time.Duration
+	Horizon   time.Duration
+	N         int
+	// Duration samples ideal durations; defaults to TableIDistribution.
+	Duration dist.Distribution
+	// Apps is the application mix (default pure fib).
+	Apps []AppChoice
+	// IOFraction adds the Fig 11 leading-I/O knob.
+	IOFraction   float64
+	IOMin, IOMax time.Duration
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+// SyntheticStream returns the synthetic workload as a pull-based
+// trace.Source: arrivals are generated lazily by thinning a
+// non-homogeneous Poisson process, and each invocation is built through
+// the same app-mix/I/O-knob pipeline as the other scenario families.
+func SyntheticStream(spec SyntheticSpec) trace.Source {
+	src, _ := syntheticStream(spec)
+	return src
+}
+
+func syntheticStream(spec SyntheticSpec) (trace.Source, *genStats) {
+	if spec.Duration == nil {
+		spec.Duration = TableIDistribution()
+	}
+	if len(spec.Apps) == 0 {
+		spec.Apps = []AppChoice{{Profile: AppFib, Weight: 1}}
+	}
+	r := rng.New(spec.Seed)
+	appR := r.Split()
+	ioR := r.Split()
+	b := newBuilder(spec.Apps, spec.IOFraction, spec.IOMin, spec.IOMax, appR, ioR)
+	inner := trace.NewSynthetic(trace.SynthSpec{
+		Shape:     spec.Shape,
+		StartRPS:  spec.StartRPS,
+		TargetRPS: spec.TargetRPS,
+		Slots:     spec.Slots,
+		SlotDur:   spec.SlotDur,
+		Horizon:   spec.Horizon,
+		N:         spec.N,
+		Duration:  spec.Duration,
+		Seed:      spec.Seed,
+	})
+	stats := &genStats{}
+	var last task.Task // previous arrival, for the IAT accumulator
+	src := trace.Map(inner, func(t *task.Task) *task.Task {
+		if stats.n > 0 {
+			stats.iatSum += t.Arrival - last.Arrival
+		}
+		last.Arrival = t.Arrival
+		// The inner source's Service is the sampled ideal duration; the
+		// builder splits it into CPU and I/O per the app profile.
+		stats.idealSum += t.Service
+		stats.n++
+		return b.build(t.ID, t.Arrival, t.Service)
+	})
+	desc := fmt.Sprintf("%s × %d apps", inner, len(spec.Apps))
+	return trace.Derive(desc, src.Next, src), stats
+}
+
+// Synthetic materializes the synthetic workload by collecting its
+// stream.
+func Synthetic(spec SyntheticSpec) *Workload {
+	src, stats := syntheticStream(spec)
+	tasks := trace.Collect(src)
+	return &Workload{
+		Tasks:       tasks,
+		MeanService: stats.meanService(),
+		MeanIAT:     stats.meanIAT(),
+		Description: src.String(),
+	}
+}

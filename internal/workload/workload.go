@@ -3,6 +3,12 @@
 // Azure Functions traces, with configurable duration distributions
 // (Table I), inter-arrival-time processes, an I/O knob, and the
 // fib/md/sa application mix used in the OpenLambda evaluation.
+//
+// Generation is streaming: every scenario family (Poisson/Table I,
+// Azure-sampled replays, synthetic RPS shapes) is exposed as a
+// trace.Source — a pull-based iterator that never materializes the
+// invocation stream — and Generate/AzureSampled/Synthetic are thin
+// collectors over those sources for consumers that need slices.
 package workload
 
 import (
@@ -15,6 +21,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/rng"
 	"github.com/serverless-sched/sfs/internal/simtime"
 	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
 )
 
 // TableIRow is one row of the paper's Table I: a duration range, its
@@ -255,14 +262,8 @@ type Workload struct {
 	Description string
 }
 
-// Generate produces a workload from the spec. Generation is two-phase:
-// durations are sampled first so the arrival process can be calibrated
-// to the requested load from the realized mean service time, mirroring
-// the paper's proportional IAT adjustment (§VIII-A).
-func Generate(spec Spec) *Workload {
-	if spec.N <= 0 {
-		panic("workload: N must be positive")
-	}
+// withDefaults fills the spec's derivable fields.
+func (spec Spec) withDefaults() Spec {
 	if spec.Cores <= 0 {
 		spec.Cores = 1
 	}
@@ -272,91 +273,162 @@ func Generate(spec Spec) *Workload {
 	if len(spec.Apps) == 0 {
 		spec.Apps = []AppChoice{{Profile: AppFib, Weight: 1}}
 	}
+	return spec
+}
+
+// builder converts sampled ideal durations into tasks: it picks an
+// application profile from the mix and applies the Fig 11 I/O knob. One
+// builder owns its RNG streams, so a seeded pipeline replays exactly.
+type builder struct {
+	apps       []AppChoice
+	appCum     []float64
+	appTotal   float64
+	ioFraction float64
+	io         dist.Uniform
+	appR, ioR  *rng.RNG
+}
+
+func newBuilder(apps []AppChoice, ioFraction float64, ioMin, ioMax time.Duration, appR, ioR *rng.RNG) *builder {
+	b := &builder{apps: apps, ioFraction: ioFraction, appR: appR, ioR: ioR}
+	for _, a := range apps {
+		b.appTotal += a.Weight
+		b.appCum = append(b.appCum, b.appTotal)
+	}
+	lo, hi := ioMin, ioMax
+	if lo <= 0 {
+		lo = 10 * time.Millisecond
+	}
+	if hi <= lo {
+		hi = lo + 90*time.Millisecond
+	}
+	b.io = dist.Uniform{Lo: lo, Hi: hi}
+	return b
+}
+
+// build assembles one invocation from its id, arrival, and ideal
+// duration.
+func (b *builder) build(id int, at simtime.Time, ideal time.Duration) *task.Task {
+	t := task.New(id, at, time.Millisecond)
+	// Pick the application profile.
+	u := b.appR.Float64() * b.appTotal
+	idx := 0
+	for idx < len(b.appCum)-1 && u >= b.appCum[idx] {
+		idx++
+	}
+	b.apps[idx].Profile.Build(t, ideal)
+	// The Fig 11 I/O knob: a single leading I/O operation.
+	if b.ioFraction > 0 && b.ioR.Float64() < b.ioFraction {
+		iod := b.io.Sample(b.ioR)
+		// Prepend: ops must stay sorted by At, and At=0 sorts first.
+		t.IOOps = append([]task.IOOp{{At: 0, Dur: iod}}, t.IOOps...)
+	}
+	return t
+}
+
+// genStats accumulates realized stream statistics as invocations are
+// pulled, so collectors can report MeanService/MeanIAT without a second
+// pass.
+type genStats struct {
+	n        int
+	idealSum time.Duration
+	iatSum   time.Duration
+}
+
+func (g *genStats) meanService() time.Duration {
+	if g.n == 0 {
+		return 0
+	}
+	return g.idealSum / time.Duration(g.n)
+}
+
+func (g *genStats) meanIAT() time.Duration {
+	if g.n <= 1 {
+		return 0
+	}
+	return g.iatSum / time.Duration(g.n-1)
+}
+
+// stream is the streaming generation core shared by Stream, Generate,
+// and the Azure-sampled wrappers.
+func stream(spec Spec) (trace.Source, *genStats) {
+	spec = spec.withDefaults()
 	r := rng.New(spec.Seed)
 	durR := r.Split()
 	appR := r.Split()
 	ioR := r.Split()
 	arrR := r.Split()
 
-	// Phase 1: sample ideal durations and build tasks.
-	ideals := make([]time.Duration, spec.N)
-	var total time.Duration
-	for i := range ideals {
-		d := spec.Duration.Sample(durR)
-		if d <= 0 {
-			d = time.Millisecond
-		}
-		ideals[i] = d
-		total += d
-	}
-	meanService := total / time.Duration(spec.N)
-
-	// Phase 2: arrivals. Offered load is defined against CPU demand, so
-	// the calibration discounts the ideal duration by the app mix's mean
-	// CPU fraction (I/O time occupies no core).
+	// Arrival calibration: offered load is defined against CPU demand,
+	// so the calibration discounts the analytic mean ideal duration by
+	// the app mix's mean CPU fraction (I/O time occupies no core).
+	// Using the distribution's analytic mean — rather than a realized
+	// probe sample — is what lets the stream start emitting immediately
+	// and never materialize, at the cost of a sampling-error-sized load
+	// deviation that vanishes with N.
 	arrival := spec.Arrival
 	if arrival == nil {
 		load := spec.Load
 		if load <= 0 {
 			load = 0.8
 		}
-		meanCPU := time.Duration(float64(meanService) * meanCPUFraction(spec.Apps))
+		meanCPU := time.Duration(float64(spec.Duration.Mean()) * meanCPUFraction(spec.Apps))
 		arrival = dist.PoissonProcess{Mean: queueing.IATForLoad(meanCPU, spec.Cores, load)}
 	}
 
-	var appCum []float64
-	var appTotal float64
-	for _, a := range spec.Apps {
-		appTotal += a.Weight
-		appCum = append(appCum, appTotal)
-	}
-
-	tasks := make([]*task.Task, spec.N)
+	b := newBuilder(spec.Apps, spec.IOFraction, spec.IOMin, spec.IOMax, appR, ioR)
+	stats := &genStats{}
 	var at simtime.Time
-	var iatSum time.Duration
-	for i := 0; i < spec.N; i++ {
-		if i > 0 {
+	desc := fmt.Sprintf("faasbench(n=%d, dur=%s, arr=%s, cores=%d)", spec.N, spec.Duration, arrival, spec.Cores)
+	src := trace.New(desc, func() (*task.Task, bool) {
+		if spec.N > 0 && stats.n >= spec.N {
+			return nil, false
+		}
+		if stats.n > 0 {
 			iat := arrival.NextIAT(arrR)
 			if iat < 0 {
 				iat = 0
 			}
 			at += iat
-			iatSum += iat
+			stats.iatSum += iat
 		}
-		t := task.New(i, at, time.Millisecond)
-		// Pick the application profile.
-		u := appR.Float64() * appTotal
-		idx := 0
-		for idx < len(appCum)-1 && u >= appCum[idx] {
-			idx++
+		d := spec.Duration.Sample(durR)
+		if d <= 0 {
+			d = time.Millisecond
 		}
-		spec.Apps[idx].Profile.Build(t, ideals[i])
-		// The Fig 11 I/O knob: a single leading I/O operation.
-		if spec.IOFraction > 0 && ioR.Float64() < spec.IOFraction {
-			lo, hi := spec.IOMin, spec.IOMax
-			if lo <= 0 {
-				lo = 10 * time.Millisecond
-			}
-			if hi <= lo {
-				hi = lo + 90*time.Millisecond
-			}
-			iod := dist.Uniform{Lo: lo, Hi: hi}.Sample(ioR)
-			// Prepend: ops must stay sorted by At, and At=0 sorts first.
-			t.IOOps = append([]task.IOOp{{At: 0, Dur: iod}}, t.IOOps...)
-		}
-		tasks[i] = t
-	}
+		t := b.build(stats.n, at, d)
+		stats.idealSum += d
+		stats.n++
+		return t, true
+	})
+	return src, stats
+}
 
-	meanIAT := time.Duration(0)
-	if spec.N > 1 {
-		meanIAT = iatSum / time.Duration(spec.N-1)
+// Stream returns the spec's invocation stream as a pull-based
+// trace.Source. A spec with N == 0 streams forever; consumers bound it
+// with trace.Limit or their own cutoff. Re-invoking Stream with the same
+// spec replays the identical stream.
+func Stream(spec Spec) trace.Source {
+	src, _ := stream(spec)
+	return src
+}
+
+// Generate materializes a workload from the spec by collecting its
+// stream — the slice-shaped entry point the simulator consumes. The
+// arrival process is calibrated to the requested load from the duration
+// distribution's analytic mean, mirroring the paper's proportional IAT
+// adjustment (§VIII-A).
+func Generate(spec Spec) *Workload {
+	if spec.N <= 0 {
+		panic("workload: N must be positive")
 	}
+	src, stats := stream(spec)
+	tasks := trace.Collect(src)
 	return &Workload{
 		Tasks:       tasks,
 		Spec:        spec,
-		MeanService: meanService,
-		MeanIAT:     meanIAT,
-		Description: fmt.Sprintf("faasbench(n=%d, dur=%s, arr=%s, cores=%d)", spec.N, spec.Duration, arrival, spec.Cores),
+		MeanService: stats.meanService(),
+		MeanIAT:     stats.meanIAT(),
+		Description: src.String(),
 	}
 }
 
@@ -366,13 +438,17 @@ func Generate(spec Spec) *Workload {
 func (w *Workload) Clone() []*task.Task {
 	out := make([]*task.Task, len(w.Tasks))
 	for i, t := range w.Tasks {
-		n := task.New(t.ID, t.Arrival, t.Service)
-		n.App = t.App
-		n.Weight = t.Weight
-		n.IOOps = append([]task.IOOp(nil), t.IOOps...)
-		out[i] = n
+		out[i] = trace.CloneTask(t)
 	}
 	return out
+}
+
+// Source returns the workload as a replayable trace.Source: each pull
+// yields a fresh copy of the next invocation, so one materialized
+// workload can feed any number of runs through the same interface the
+// streaming generators use.
+func (w *Workload) Source() trace.Source {
+	return trace.FromTasks(w.Description, w.Tasks)
 }
 
 // meanCPUFraction returns the weight-averaged CPU fraction of an app
