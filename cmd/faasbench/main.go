@@ -4,9 +4,11 @@
 //
 // Subcommands:
 //
-//	faasbench gen    [flags]              # generate and summarize (default)
-//	faasbench export [flags] -o out.csv   # generate and stream to CSV
-//	faasbench replay -in out.csv [flags]  # replay a CSV trace in the simulator
+//	faasbench gen     [flags]              # generate and summarize (default)
+//	faasbench export  [flags] -o out.csv   # generate and stream to CSV
+//	faasbench replay  -in out.csv [flags]  # replay a CSV trace in the simulator
+//	faasbench cluster [flags]              # fan a trace across -hosts simulated
+//	                                       # hosts behind a -dispatch policy
 //
 // Scenario families (-arrivals):
 //
@@ -22,6 +24,8 @@
 //	faasbench gen -arrivals trace -spikes 5
 //	faasbench export -arrivals synth -shape ramp -start-rps 50 -target-rps 500 -horizon 60s -o ramp.csv
 //	faasbench replay -in ramp.csv -sched SFS -cores 16
+//	faasbench cluster -hosts 4 -host-cores 8 -dispatch PULL -sched SFS -arrivals trace
+//	faasbench cluster -in ramp.csv -hosts 2 -host-cores 16 -dispatch JSQ
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/schedulers"
@@ -53,8 +58,10 @@ func main() {
 		cmdExport(args)
 	case "replay":
 		cmdReplay(args)
+	case "cluster":
+		cmdCluster(args)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want gen, export, or replay)\n", cmd)
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want gen, export, replay, or cluster)\n", cmd)
 		os.Exit(1)
 	}
 }
@@ -248,6 +255,73 @@ func mkScheduler(name string) cpusim.Scheduler {
 		fatal(err)
 	}
 	return s
+}
+
+// cmdCluster fans a generated or replayed trace out across N simulated
+// hosts behind a dispatch policy, each host running its own scheduler
+// instance, and reports merged plus per-host metrics.
+func cmdCluster(args []string) {
+	g := newGenFlags("cluster")
+	hosts := g.fs.Int("hosts", 4, "number of simulated hosts")
+	hostCores := g.fs.Int("host-cores", 8, "cores per host (load calibration uses hosts x host-cores, overriding -cores)")
+	dispatch := g.fs.String("dispatch", "RR", "dispatch policy: "+strings.Join(cluster.Names(), ", "))
+	schedName := g.fs.String("sched", "SFS", "per-host scheduler: "+strings.Join(schedulers.Names(), ", "))
+	in := g.fs.String("in", "", "replay this trace CSV instead of generating (gen flags ignored)")
+	g.fs.Parse(args)
+	if *hosts < 1 || *hostCores < 1 {
+		fatal(fmt.Errorf("cluster needs -hosts >= 1 and -host-cores >= 1"))
+	}
+
+	var src trace.Source
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if src, err = trace.NewCSVSource(f); err != nil {
+			fatal(err)
+		}
+	} else {
+		*g.cores = *hosts * *hostCores // calibrate offered load to the whole cluster
+		src = g.source()
+	}
+
+	if _, err := schedulers.New(*schedName); err != nil {
+		fatal(err)
+	}
+	d, err := cluster.NewDispatcher(*dispatch, cluster.FactoryConfig{Hosts: *hosts, Seed: *g.seed})
+	if err != nil {
+		fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Hosts:        *hosts,
+		CoresPerHost: *hostCores,
+		NewScheduler: func() cpusim.Scheduler { return mkScheduler(*schedName) },
+		Dispatcher:   d,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res, err := cl.Run(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("cluster: %d hosts x %d cores, %s dispatch, %s per host\n",
+		*hosts, *hostCores, res.Dispatcher, res.Scheduler)
+	fmt.Printf("simulated %v of virtual time in %v wall time\n",
+		res.Makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	fmt.Print(res.RenderPerHost())
+	ps := res.Merged.Percentiles([]float64{50, 90, 99, 99.9})
+	fmt.Printf("cluster-wide turnaround: p50=%s p90=%s p99=%s p99.9=%s mean=%s\n",
+		metrics.FormatDuration(ps[0]), metrics.FormatDuration(ps[1]),
+		metrics.FormatDuration(ps[2]), metrics.FormatDuration(ps[3]),
+		metrics.FormatDuration(res.Merged.MeanTurnaround()))
+	for _, bound := range []float64{0.5, 0.95} {
+		fmt.Printf("RTE >= %.2f: %.1f%% of requests\n", bound, 100*res.Merged.FractionRTEAtLeast(bound))
+	}
 }
 
 // summarize streams a source once, printing the headline statistics and

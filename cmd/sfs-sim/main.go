@@ -1,12 +1,15 @@
-// Command sfs-sim runs a single scheduler × workload simulation and
-// prints the paper's metrics: duration percentiles, RTE distribution,
-// context switches, and (for SFS) scheduler-internal statistics.
+// Command sfs-sim runs a single scheduler × workload simulation — or,
+// with -hosts N, a multi-host cluster simulation behind a dispatch
+// policy — and prints the paper's metrics: duration percentiles, RTE
+// distribution, context switches, and (for SFS) scheduler-internal
+// statistics.
 //
 // Examples:
 //
 //	sfs-sim -sched SFS -n 10000 -cores 16 -load 1.0
 //	sfs-sim -sched CFS -n 10000 -cores 16 -load 0.8 -arrivals trace
 //	sfs-sim -sched SFS -fixed-slice 100ms -io-fraction 0.75
+//	sfs-sim -hosts 4 -dispatch JSQ -sched SFS -cores 8 -load 0.9
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/core"
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/metrics"
@@ -29,10 +33,12 @@ import (
 
 func main() {
 	var (
-		schedName  = flag.String("sched", "SFS", "scheduler: SFS, CFS, FIFO, RR, SRTF, IDEAL")
+		schedName  = flag.String("sched", "SFS", "scheduler: "+strings.Join(schedulers.Names(), ", ")+", or IDEAL (single host only)")
 		n          = flag.Int("n", 10000, "number of function invocations")
-		cores      = flag.Int("cores", 16, "CPU cores")
-		load       = flag.Float64("load", 1.0, "offered CPU load fraction")
+		cores      = flag.Int("cores", 16, "CPU cores (per host when -hosts > 1)")
+		load       = flag.Float64("load", 1.0, "offered CPU load fraction (calibrated to hosts x cores)")
+		hosts      = flag.Int("hosts", 1, "simulated hosts; > 1 enables cluster mode")
+		dispatch   = flag.String("dispatch", "RR", "cluster dispatch policy: "+strings.Join(cluster.Names(), ", "))
 		arrivals   = flag.String("arrivals", "poisson", "arrival process: poisson, trace, or synth (RPS ramp)")
 		seed       = flag.Uint64("seed", 42, "RNG seed")
 		fixedSlice = flag.Duration("fixed-slice", 0, "pin the SFS time slice (0 = adaptive)")
@@ -47,6 +53,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *hosts < 1 {
+		fmt.Fprintln(os.Stderr, "-hosts must be at least 1")
+		os.Exit(1)
+	}
+	totalCores := *hosts * *cores
+
 	if *wlFile != "" {
 		f, err := os.Open(*wlFile)
 		if err != nil {
@@ -59,6 +71,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *hosts > 1 {
+			runCluster(trace.FromTasks(*wlFile, tasks), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO)
+			return
+		}
 		runReplay(tasks, *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO)
 		return
 	}
@@ -67,11 +83,11 @@ func main() {
 	switch *arrivals {
 	case "poisson":
 		w = workload.Generate(workload.Spec{
-			N: *n, Cores: *cores, Load: *load, Seed: *seed, IOFraction: *ioFraction,
+			N: *n, Cores: totalCores, Load: *load, Seed: *seed, IOFraction: *ioFraction,
 		})
 	case "trace":
 		w = workload.AzureSampled(workload.AzureSampledSpec{
-			N: *n, Cores: *cores, Load: *load, Seed: *seed, IOFraction: *ioFraction,
+			N: *n, Cores: totalCores, Load: *load, Seed: *seed, IOFraction: *ioFraction,
 		})
 	case "synth":
 		w = workload.Synthetic(workload.SyntheticSpec{
@@ -83,9 +99,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("workload: %s (mean service %v, mean IAT %v, offered load %.2f)\n",
-		w.Description, w.MeanService, w.MeanIAT, w.OfferedLoad(*cores))
+		w.Description, w.MeanService, w.MeanIAT, w.OfferedLoad(totalCores))
 
+	if *hosts > 1 {
+		runCluster(w.Source(), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO)
+		return
+	}
 	runReplay(w.Clone(), *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO)
+}
+
+// mkFactory builds the per-host scheduler constructor for cluster mode,
+// honoring the SFS tuning knobs.
+func mkFactory(schedName string, fixedSlice, poll time.Duration, noHybrid, noIO bool) (func() cpusim.Scheduler, error) {
+	if strings.EqualFold(schedName, "SFS") {
+		cfg := core.DefaultConfig()
+		cfg.FixedSlice = fixedSlice
+		cfg.PollInterval = poll
+		cfg.Hybrid = !noHybrid
+		cfg.IOAware = !noIO
+		return func() cpusim.Scheduler { return core.New(cfg) }, nil
+	}
+	// Validate the name once up front so a typo fails before simulating.
+	if _, err := schedulers.New(schedName); err != nil {
+		return nil, err
+	}
+	return func() cpusim.Scheduler {
+		s, err := schedulers.New(schedName)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}, nil
+}
+
+// runCluster simulates the source across hosts behind the named
+// dispatch policy and reports merged plus per-host metrics.
+func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, seed uint64, fixedSlice, poll time.Duration, noHybrid, noIO bool) {
+	factory, err := mkFactory(schedName, fixedSlice, poll, noHybrid, noIO)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d, err := cluster.NewDispatcher(dispatch, cluster.FactoryConfig{Hosts: hosts, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Hosts:        hosts,
+		CoresPerHost: cores,
+		NewScheduler: factory,
+		Dispatcher:   d,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	res, err := cl.Run(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cluster: %d hosts x %d cores, %s dispatch, %s per host\n", hosts, cores, res.Dispatcher, res.Scheduler)
+	fmt.Printf("simulated %v of virtual time in %v wall time\n",
+		res.Makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	fmt.Print(res.RenderPerHost())
+	fmt.Println()
+	report(res.Merged, nil, res.Makespan, nil)
 }
 
 // runReplay simulates tasks under the named scheduler and reports.

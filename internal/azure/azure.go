@@ -13,6 +13,17 @@
 //   - per-app inter-arrival processes, including transient bursts, from
 //     which the paper replays IATs of 100 sampled apps (§VII) — the
 //     bursts are what exercise SFS's overload handling (Fig 12).
+//
+// Entry points: Synthesize builds the population; Trace.SampleHotApps
+// picks the invocation-weighted hot set the paper replays; and
+// Trace.IATTrace merges the chosen apps' bursty arrival processes into
+// one IAT sequence scaled to a target mean. workload.AzureSampledStream
+// is the consumer that turns all of this into the canonical evaluation
+// trace. dataset.go additionally parses the real Azure Functions 2019
+// CSV release (durations and per-minute invocation counts) for users
+// who have the non-redistributable dataset and want the paper's exact
+// inputs instead of the stand-in. Everything here is deterministic in
+// the seeds passed down from the workload spec.
 package azure
 
 import (

@@ -1,0 +1,368 @@
+// Package cluster is the multi-host simulation layer: it fans one
+// trace.Source out across N simulated hosts, each running its own
+// cpusim engine under its own scheduler instance (SFS, CFS, EEVDF, …),
+// and merges per-host results into cluster-level summaries.
+//
+// The paper evaluates SFS on a single host; this layer grows the
+// reproduction into a scheduling-evaluation system for the cluster
+// questions raised by follow-on work — Kaffes et al.'s core-granular
+// cluster scheduling and Hiku's pull-based dispatch — where cluster
+// placement interacts with each host's OS-level scheduler. A pluggable
+// Dispatcher decides which host sees each invocation; a central FIFO
+// queue holds work that pull-based policies decline to place.
+//
+// The simulation is deterministic: every engine is driven from one
+// global loop that always fires the globally-earliest pending event
+// (host ties break by index, host events before same-instant arrivals),
+// dispatchers are deterministic functions of seed and observed state,
+// and sources are deterministic in their spec — so the same
+// spec/seed/host-count yields identical metrics on every run.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// Hosts is the number of simulated hosts.
+	Hosts int
+	// CoresPerHost is each host's core count.
+	CoresPerHost int
+	// CtxSwitchCost is passed through to every host engine.
+	CtxSwitchCost time.Duration
+	// Deadline aborts the simulation at this virtual time if tasks are
+	// still unfinished (0 = no deadline).
+	Deadline simtime.Time
+	// NewScheduler constructs one OS-level scheduler per host; every
+	// host gets its own instance so scheduler state never leaks across
+	// machines.
+	NewScheduler func() cpusim.Scheduler
+	// Dispatcher is the cluster-level placement policy.
+	Dispatcher Dispatcher
+}
+
+// host pairs one engine with its dispatch accounting. It implements the
+// Host view dispatchers decide from.
+type host struct {
+	idx        int
+	eng        *cpusim.Engine
+	dispatched int
+}
+
+func (h *host) Index() int      { return h.idx }
+func (h *host) Cores() int      { return h.eng.NumCores() }
+func (h *host) InFlight() int   { return h.eng.Pending() }
+func (h *host) BusyCores() int  { return h.eng.BusyCores() }
+func (h *host) Dispatched() int { return h.dispatched }
+
+func (h *host) Queued() int {
+	if q := h.eng.Pending() - h.eng.BusyCores(); q > 0 {
+		return q
+	}
+	return 0
+}
+
+// record remembers an invocation's pre-dispatch identity so metrics can
+// be computed against original arrival times after the run.
+type record struct {
+	t    *task.Task
+	orig simtime.Time // arrival as emitted by the source
+	host int
+	at   simtime.Time // dispatch instant (== orig unless held centrally)
+}
+
+// HostResult is one host's share of a cluster run.
+type HostResult struct {
+	Run         metrics.Run
+	Dispatches  int
+	CtxSwitches int64
+	Utilization float64
+}
+
+// Result is the outcome of a cluster run.
+type Result struct {
+	Scheduler  string // per-host scheduler name
+	Dispatcher string
+	// Merged views every invocation cluster-wide, in source order, with
+	// turnarounds measured from original arrival — central-queue delay
+	// under pull-based policies counts against the request.
+	Merged  metrics.Run
+	PerHost []HostResult
+	// Makespan is the latest finish time across all hosts.
+	Makespan simtime.Time
+	// QueueDelayMax/QueueDelayMean summarize time spent in the central
+	// queue before dispatch (zero under pure push policies).
+	QueueDelayMax  time.Duration
+	QueueDelayMean time.Duration
+	// CentralQueueMax is the central queue's high-water mark.
+	CentralQueueMax int
+	// Aborted reports that the run ended with unfinished work: a
+	// deadline abort, or a host left stranded with pending tasks and no
+	// future events (a scheduler that parked work without re-arming).
+	// A dispatcher stall — work held centrally while every host sat
+	// idle — is reported as an error from Run instead.
+	Aborted bool
+}
+
+// RenderPerHost returns the human-readable per-host breakdown both
+// CLIs print: an optional central-queue summary line followed by one
+// table row per host.
+func (res *Result) RenderPerHost() string {
+	var b strings.Builder
+	if res.QueueDelayMax > 0 {
+		fmt.Fprintf(&b, "central queue: high-water %d held, dispatch delay mean %s max %s\n",
+			res.CentralQueueMax, metrics.FormatDuration(res.QueueDelayMean), metrics.FormatDuration(res.QueueDelayMax))
+	}
+	header := []string{"host", "dispatched", "ctx switches", "util", "p50", "p99", "mean"}
+	var rows [][]string
+	for i, hr := range res.PerHost {
+		ps := hr.Run.Percentiles([]float64{50, 99})
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", hr.Dispatches),
+			fmt.Sprintf("%d", hr.CtxSwitches),
+			fmt.Sprintf("%.0f%%", hr.Utilization*100),
+			metrics.FormatDuration(ps[0]),
+			metrics.FormatDuration(ps[1]),
+			metrics.FormatDuration(hr.Run.MeanTurnaround()),
+		})
+	}
+	b.WriteString(metrics.Table(header, rows))
+	return b.String()
+}
+
+// Cluster simulates N hosts behind one dispatcher.
+type Cluster struct {
+	cfg   Config
+	hosts []*host
+	views []Host
+}
+
+// New validates the config and builds the cluster's hosts.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one host, got %d", cfg.Hosts)
+	}
+	if cfg.CoresPerHost <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one core per host, got %d", cfg.CoresPerHost)
+	}
+	if cfg.NewScheduler == nil {
+		return nil, fmt.Errorf("cluster: NewScheduler is required")
+	}
+	if cfg.Dispatcher == nil {
+		return nil, fmt.Errorf("cluster: Dispatcher is required")
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Hosts; i++ {
+		h := &host{idx: i, eng: cpusim.NewEngine(cpusim.Config{
+			Cores:         cfg.CoresPerHost,
+			CtxSwitchCost: cfg.CtxSwitchCost,
+		}, cfg.NewScheduler())}
+		c.hosts = append(c.hosts, h)
+		c.views = append(c.views, h)
+	}
+	return c, nil
+}
+
+// Run pulls the source to exhaustion through the dispatcher and drives
+// every host engine to completion in global virtual-time order. A
+// Cluster is single-use: build a fresh one per run.
+func (c *Cluster) Run(src trace.Source) (*Result, error) {
+	deadline := c.cfg.Deadline
+	if deadline == 0 {
+		deadline = simtime.Infinity
+	}
+
+	var (
+		records []record
+		central []int // indices into records of held invocations, FIFO
+		maxQ    int
+		now     simtime.Time
+		aborted bool
+	)
+
+	// offer asks the dispatcher to place records[ri], parking it in the
+	// central queue on Hold.
+	offer := func(at simtime.Time, ri int) bool {
+		rec := &records[ri]
+		idx := c.cfg.Dispatcher.Pick(at, rec.t, c.views)
+		if idx == Hold {
+			return false
+		}
+		if idx < 0 || idx >= len(c.hosts) {
+			panic(fmt.Sprintf("cluster: dispatcher %s picked host %d of %d", c.cfg.Dispatcher.Name(), idx, len(c.hosts)))
+		}
+		rec.host = idx
+		rec.at = at
+		// A held invocation is claimed after its arrival; move its
+		// engine-visible arrival to the claim instant so the host's
+		// event order stays causal. The original arrival is restored
+		// before metrics are computed.
+		if at > rec.t.Arrival {
+			rec.t.Arrival = at
+		}
+		c.hosts[idx].eng.Submit(rec.t)
+		c.hosts[idx].dispatched++
+		return true
+	}
+
+	// drainCentral re-offers held work oldest-first, stopping at the
+	// first invocation the dispatcher still declines (FIFO order is part
+	// of the pull-based contract).
+	drainCentral := func(at simtime.Time) {
+		for len(central) > 0 {
+			if !offer(at, central[0]) {
+				return
+			}
+			central = central[1:]
+		}
+	}
+
+	next, more := src.Next()
+	for {
+		// The globally-earliest host event, among hosts that still have
+		// unfinished work. Idle hosts may hold re-arming timer events
+		// (e.g. the SFS monitor); stepping those without work would
+		// never terminate, exactly as cpusim.Engine.Run stops when its
+		// pending count reaches zero.
+		heTime, heHost := simtime.Infinity, -1
+		for i, h := range c.hosts {
+			if h.eng.Pending() == 0 {
+				continue
+			}
+			if t := h.eng.NextEventTime(); t < heTime {
+				heTime, heHost = t, i
+			}
+		}
+		arrTime := simtime.Infinity
+		if more {
+			arrTime = next.Arrival
+		}
+
+		if heHost >= 0 && heTime <= arrTime {
+			// Host events fire before same-instant arrivals so a
+			// completion frees capacity the dispatcher can see.
+			if heTime > deadline {
+				aborted = true
+				break
+			}
+			h := c.hosts[heHost]
+			before := h.eng.Pending()
+			h.eng.StepEvent()
+			if heTime > now {
+				now = heTime
+			}
+			if h.eng.Pending() < before {
+				drainCentral(now)
+			}
+			continue
+		}
+
+		if more {
+			if arrTime > deadline {
+				aborted = true
+				break
+			}
+			if arrTime > now {
+				now = arrTime
+			}
+			records = append(records, record{t: next, orig: next.Arrival, host: Hold, at: -1})
+			ri := len(records) - 1
+			if len(central) > 0 || !offer(now, ri) {
+				// Preserve FIFO: nothing overtakes already-held work.
+				central = append(central, ri)
+				if len(central) > maxQ {
+					maxQ = len(central)
+				}
+			}
+			next, more = src.Next()
+			continue
+		}
+
+		if len(central) > 0 {
+			// No host events, no arrivals, work still held: the
+			// dispatcher declined placement with the whole cluster
+			// idle. That is a policy bug; report rather than spin.
+			return nil, fmt.Errorf("cluster: dispatcher %s stalled with %d invocations held and all hosts idle",
+				c.cfg.Dispatcher.Name(), len(central))
+		}
+		break
+	}
+	if err := trace.Err(src); err != nil {
+		return nil, err
+	}
+	// A host with pending tasks but no future events is wedged (its
+	// scheduler parked work without re-arming); surface that as an
+	// abort rather than letting the tasks silently vanish from stats.
+	for _, h := range c.hosts {
+		if h.eng.Pending() > 0 {
+			aborted = true
+		}
+	}
+
+	return c.result(records, maxQ, aborted), nil
+}
+
+// result restores original arrivals and assembles per-host and merged
+// metrics.
+func (c *Cluster) result(records []record, maxQ int, aborted bool) *Result {
+	schedName := c.cfg.NewScheduler().Name()
+	res := &Result{
+		Scheduler:       schedName,
+		Dispatcher:      c.cfg.Dispatcher.Name(),
+		CentralQueueMax: maxQ,
+		Aborted:         aborted,
+	}
+
+	perHost := make([][]*task.Task, len(c.hosts))
+	all := make([]*task.Task, 0, len(records))
+	var delaySum time.Duration
+	for i := range records {
+		rec := &records[i]
+		rec.t.Arrival = rec.orig
+		all = append(all, rec.t)
+		if rec.host >= 0 {
+			perHost[rec.host] = append(perHost[rec.host], rec.t)
+			if d := rec.at - rec.orig; d > 0 {
+				delaySum += d
+				if d > res.QueueDelayMax {
+					res.QueueDelayMax = d
+				}
+			}
+		}
+		if f := rec.t.Finish; f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	if len(records) > 0 {
+		res.QueueDelayMean = delaySum / time.Duration(len(records))
+	}
+
+	label := fmt.Sprintf("%s x%d/%s", schedName, len(c.hosts), res.Dispatcher)
+	res.Merged = metrics.Run{Scheduler: label, Tasks: all}
+	for i, h := range c.hosts {
+		// Utilization over the shared cluster horizon, not each host's
+		// local clock: a host that went idle early was idle for the
+		// rest of the run, and per-host columns must be comparable.
+		util := 0.0
+		if res.Makespan > 0 {
+			util = float64(h.eng.BusyTime()) / (float64(res.Makespan) * float64(h.eng.NumCores()))
+		}
+		res.PerHost = append(res.PerHost, HostResult{
+			Run:         metrics.Run{Scheduler: fmt.Sprintf("%s host%d", schedName, i), Tasks: perHost[i]},
+			Dispatches:  h.dispatched,
+			CtxSwitches: h.eng.TotalCtxSwitches,
+			Utilization: util,
+		})
+	}
+	return res
+}

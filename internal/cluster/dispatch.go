@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// Host is the read-only view of one simulated host that dispatch
+// policies decide from. All quantities are instantaneous at the
+// dispatch decision's virtual time.
+type Host interface {
+	// Index is the host's position in the cluster (0..Hosts-1).
+	Index() int
+	// Cores is the host's core count.
+	Cores() int
+	// InFlight is the number of invocations dispatched to the host and
+	// not yet finished (running, runnable, or blocked on I/O).
+	InFlight() int
+	// BusyCores is the number of cores currently executing a task.
+	BusyCores() int
+	// Queued is the number of in-flight invocations not currently on a
+	// core (waiting in a runqueue or blocked on I/O).
+	Queued() int
+	// Dispatched is the cumulative number of invocations ever sent to
+	// this host.
+	Dispatched() int
+}
+
+// Dispatcher is the cluster-level placement policy: it decides, for each
+// arriving invocation, which host's OS-level scheduler will see it.
+//
+// Pick returns the index of the chosen host, or Hold to leave the
+// invocation in the cluster's central queue. Held invocations are
+// re-offered (oldest first) every time any host completes a task, which
+// is how pull-based policies are expressed: return Hold until a host
+// has claimable capacity. Implementations must be deterministic
+// functions of their construction parameters and the observed host
+// views — no wall clock, no global RNG.
+type Dispatcher interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Pick selects a host for t at virtual time now, or returns Hold.
+	Pick(now simtime.Time, t *task.Task, hosts []Host) int
+}
+
+// Hold is the Pick return value that parks an invocation in the central
+// queue instead of assigning it to a host.
+const Hold = -1
+
+// ---- policies ----
+
+// roundRobin cycles through hosts in index order.
+type roundRobin struct{ next int }
+
+func (d *roundRobin) Name() string { return "RR" }
+
+func (d *roundRobin) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
+	h := d.next % len(hosts)
+	d.next++
+	return h
+}
+
+// random picks a host uniformly from a seeded stream, so runs replay
+// exactly.
+type random struct{ r *rng.RNG }
+
+func (d *random) Name() string { return "RANDOM" }
+
+func (d *random) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
+	return d.r.Intn(len(hosts))
+}
+
+// leastLoaded sends each invocation to the host with the fewest
+// in-flight invocations (running, runnable, or blocked), breaking ties
+// by lowest index.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "LEASTLOADED" }
+
+func (leastLoaded) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
+	best := 0
+	for i, h := range hosts {
+		if h.InFlight() < hosts[best].InFlight() {
+			best = i
+		}
+	}
+	return best
+}
+
+// joinShortestQueue sends each invocation to the host with the fewest
+// invocations waiting off-core (runqueue depth plus blocked tasks),
+// ignoring work that is actively running — the classic JSQ policy at
+// host granularity. Ties break by lowest index.
+type joinShortestQueue struct{}
+
+func (joinShortestQueue) Name() string { return "JSQ" }
+
+func (joinShortestQueue) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
+	best := 0
+	for i, h := range hosts {
+		if h.Queued() < hosts[best].Queued() {
+			best = i
+		}
+	}
+	return best
+}
+
+// pullBased models Hiku-style pull scheduling: hosts claim work only
+// while they have claimable capacity (fewer in-flight invocations than
+// cores), and everything else waits in the cluster's central queue
+// until a completion frees a slot. Among hosts with capacity the one
+// with the most free slots claims first (ties to the lowest index), so
+// work spreads to the idlest host exactly as an idle-worker queue
+// would.
+type pullBased struct{}
+
+func (pullBased) Name() string { return "PULL" }
+
+func (pullBased) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
+	best, bestFree := Hold, 0
+	for i, h := range hosts {
+		if free := h.Cores() - h.InFlight(); free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	return best
+}
+
+// hashAffinity pins each function application to one host by hashing
+// its name (FNV-1a), the locality-preserving policy: a function's warm
+// state, caches, and working set stay on one machine. Invocations
+// without an application name hash their ID instead, which degrades to
+// random-ish spreading.
+type hashAffinity struct{}
+
+func (hashAffinity) Name() string { return "HASH" }
+
+func (hashAffinity) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
+	key := t.App
+	if key == "" {
+		key = strconv.Itoa(t.ID)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(hosts)))
+}
+
+// ---- registry ----
+
+// FactoryConfig carries the construction parameters a dispatch policy
+// may need.
+type FactoryConfig struct {
+	// Hosts is the cluster size the policy will dispatch over.
+	Hosts int
+	// Seed drives randomized policies (RANDOM); deterministic policies
+	// ignore it.
+	Seed uint64
+}
+
+// constructors maps canonical names to policy constructors, mirroring
+// internal/schedulers so CLIs select dispatchers by flag without the
+// recognized set drifting between tools.
+var constructors = map[string]func(cfg FactoryConfig) Dispatcher{
+	"RR":          func(FactoryConfig) Dispatcher { return &roundRobin{} },
+	"RANDOM":      func(cfg FactoryConfig) Dispatcher { return &random{r: rng.New(cfg.Seed)} },
+	"LEASTLOADED": func(FactoryConfig) Dispatcher { return leastLoaded{} },
+	"JSQ":         func(FactoryConfig) Dispatcher { return joinShortestQueue{} },
+	"PULL":        func(FactoryConfig) Dispatcher { return pullBased{} },
+	"HASH":        func(FactoryConfig) Dispatcher { return hashAffinity{} },
+}
+
+// names in presentation order.
+var names = []string{"RR", "RANDOM", "LEASTLOADED", "JSQ", "PULL", "HASH"}
+
+// Names returns the canonical dispatch-policy names NewDispatcher
+// recognizes.
+func Names() []string { return append([]string(nil), names...) }
+
+// NewDispatcher constructs a dispatch policy by case-insensitive name.
+func NewDispatcher(name string, cfg FactoryConfig) (Dispatcher, error) {
+	mk, ok := constructors[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown dispatch policy %q (want one of %s)", name, strings.Join(names, ", "))
+	}
+	return mk(cfg), nil
+}

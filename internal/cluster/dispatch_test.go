@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// TestRegistryNamesInSync: Names() and the constructor map must cover
+// exactly the same policies, and each constructed policy must report
+// its canonical name.
+func TestRegistryNamesInSync(t *testing.T) {
+	if len(names) != len(constructors) {
+		t.Fatalf("names has %d entries, constructors %d", len(names), len(constructors))
+	}
+	for _, n := range names {
+		mk, ok := constructors[n]
+		if !ok {
+			t.Errorf("name %s has no constructor", n)
+			continue
+		}
+		d := mk(FactoryConfig{Hosts: 4, Seed: 1})
+		if d.Name() != n {
+			t.Errorf("policy %s reports name %s", n, d.Name())
+		}
+	}
+}
+
+// TestNewDispatcherCaseInsensitive: lookups must ignore case.
+func TestNewDispatcherCaseInsensitive(t *testing.T) {
+	for _, n := range Names() {
+		for _, variant := range []string{strings.ToLower(n), strings.ToUpper(n), n[:1] + strings.ToLower(n[1:])} {
+			d, err := NewDispatcher(variant, FactoryConfig{Hosts: 2, Seed: 1})
+			if err != nil {
+				t.Errorf("NewDispatcher(%q): %v", variant, err)
+				continue
+			}
+			if d.Name() != n {
+				t.Errorf("NewDispatcher(%q) built %s", variant, d.Name())
+			}
+		}
+	}
+}
+
+// TestNewDispatcherUnknown: unknown names must error and the error must
+// list the valid choices.
+func TestNewDispatcherUnknown(t *testing.T) {
+	_, err := NewDispatcher("bogus", FactoryConfig{Hosts: 2})
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not mention %s", err, n)
+		}
+	}
+}
+
+// TestNamesIsACopy: mutating the returned slice must not corrupt the
+// registry.
+func TestNamesIsACopy(t *testing.T) {
+	a := Names()
+	a[0] = "CLOBBERED"
+	if Names()[0] == "CLOBBERED" {
+		t.Fatal("Names returns the registry's backing array")
+	}
+}
+
+// fakeHost is a hand-set Host view for pure policy tests.
+type fakeHost struct {
+	idx, cores, inFlight, busy, dispatched int
+}
+
+func (f fakeHost) Index() int      { return f.idx }
+func (f fakeHost) Cores() int      { return f.cores }
+func (f fakeHost) InFlight() int   { return f.inFlight }
+func (f fakeHost) BusyCores() int  { return f.busy }
+func (f fakeHost) Dispatched() int { return f.dispatched }
+func (f fakeHost) Queued() int {
+	if q := f.inFlight - f.busy; q > 0 {
+		return q
+	}
+	return 0
+}
+
+// TestPolicyPicks exercises each policy against a fixed host panel.
+func TestPolicyPicks(t *testing.T) {
+	hosts := []Host{
+		fakeHost{idx: 0, cores: 4, inFlight: 4, busy: 4}, // full
+		fakeHost{idx: 1, cores: 4, inFlight: 6, busy: 4}, // overfull, 2 queued
+		fakeHost{idx: 2, cores: 4, inFlight: 1, busy: 1}, // mostly free
+	}
+	tk := task.New(0, 0, 1)
+	now := simtime.Time(0)
+
+	pick := func(name string) int {
+		d, err := NewDispatcher(name, FactoryConfig{Hosts: len(hosts), Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Pick(now, tk, hosts)
+	}
+
+	if got := pick("LEASTLOADED"); got != 2 {
+		t.Errorf("LEASTLOADED picked %d, want 2", got)
+	}
+	if got := pick("JSQ"); got != 0 && got != 2 {
+		// hosts 0 and 2 both have zero queued; tie breaks to lowest index
+		t.Errorf("JSQ picked %d, want 0", got)
+	}
+	if got := pick("JSQ"); got != 0 {
+		t.Errorf("JSQ tie should break to lowest index, got %d", got)
+	}
+	if got := pick("PULL"); got != 2 {
+		t.Errorf("PULL picked %d, want 2 (most free slots)", got)
+	}
+
+	// PULL holds when no host has free capacity.
+	full := []Host{
+		fakeHost{idx: 0, cores: 2, inFlight: 2, busy: 2},
+		fakeHost{idx: 1, cores: 2, inFlight: 3, busy: 2},
+	}
+	d, _ := NewDispatcher("PULL", FactoryConfig{Hosts: 2})
+	if got := d.Pick(now, tk, full); got != Hold {
+		t.Errorf("PULL on a full cluster picked %d, want Hold", got)
+	}
+
+	// RR cycles 0,1,2,0...
+	rr, _ := NewDispatcher("RR", FactoryConfig{Hosts: len(hosts)})
+	for i, want := range []int{0, 1, 2, 0, 1} {
+		if got := rr.Pick(now, tk, hosts); got != want {
+			t.Fatalf("RR pick %d = %d, want %d", i, got, want)
+		}
+	}
+
+	// RANDOM with the same seed replays the same sequence.
+	seq := func() []int {
+		d, _ := NewDispatcher("RANDOM", FactoryConfig{Hosts: len(hosts), Seed: 42})
+		var out []int
+		for i := 0; i < 16; i++ {
+			p := d.Pick(now, tk, hosts)
+			if p < 0 || p >= len(hosts) {
+				t.Fatalf("RANDOM picked out-of-range host %d", p)
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RANDOM is not deterministic in its seed")
+		}
+	}
+
+	// HASH is a pure function of the app name.
+	h, _ := NewDispatcher("HASH", FactoryConfig{Hosts: len(hosts)})
+	ta := task.New(1, 0, 1)
+	ta.App = "md"
+	first := h.Pick(now, ta, hosts)
+	for i := 0; i < 5; i++ {
+		if got := h.Pick(now, ta, hosts); got != first {
+			t.Fatal("HASH not sticky for equal app names")
+		}
+	}
+}

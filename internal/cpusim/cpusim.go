@@ -220,6 +220,31 @@ func (e *Engine) Run() simtime.Time {
 	return e.q.Now()
 }
 
+// NextEventTime returns the virtual time of the engine's earliest
+// pending event, or simtime.Infinity when the event queue is empty.
+// External drivers (internal/cluster) use it to interleave several
+// engines in global virtual-time order.
+func (e *Engine) NextEventTime() simtime.Time { return e.q.PeekTime() }
+
+// StepEvent fires the engine's earliest pending event, advancing the
+// engine's local clock to its time. It returns false when no events
+// remain. Together with NextEventTime and incremental Submit it lets a
+// multi-host driver step many engines in lockstep: always step the
+// engine whose next event is globally earliest, and submit tasks with
+// arrivals at or after the global clock.
+func (e *Engine) StepEvent() bool { return e.q.Step() }
+
+// BusyCores returns the number of cores currently running a task.
+func (e *Engine) BusyCores() int {
+	n := 0
+	for i := range e.cores {
+		if e.cores[i].cur != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // Aborted reports whether Run stopped at the deadline with unfinished
 // tasks.
 func (e *Engine) Aborted() bool { return e.aborted }
@@ -236,11 +261,19 @@ func (e *Engine) Utilization() float64 {
 	if e.q.Now() == 0 {
 		return 0
 	}
+	return float64(e.BusyTime()) / (float64(e.q.Now()) * float64(len(e.cores)))
+}
+
+// BusyTime returns the total core time consumed across all cores
+// (including context-switch cost). Multi-host drivers use it to compute
+// utilization over a shared horizon instead of each engine's local
+// clock.
+func (e *Engine) BusyTime() time.Duration {
 	var busy time.Duration
 	for i := range e.cores {
 		busy += e.cores[i].busyTime
 	}
-	return float64(busy) / (float64(e.q.Now()) * float64(len(e.cores)))
+	return busy
 }
 
 // arrive handles a task arrival event.

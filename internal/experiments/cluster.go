@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/cluster"
+	"github.com/serverless-sched/sfs/internal/core"
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/trace"
+	"github.com/serverless-sched/sfs/internal/workload"
+)
+
+func init() {
+	register("cluster-dispatch", "Dispatch policy x host count x load over SFS hosts", runClusterDispatch)
+}
+
+// runClusterDispatch goes beyond the paper's single-host evaluation: it
+// sweeps every registered dispatch policy across cluster sizes and load
+// levels, with each host running SFS, on both the Azure-sampled and
+// synthetic-RPS scenario families. The comparison shows where
+// cluster-level placement starts to dominate OS-level scheduling:
+// affinity policies concentrate bursts that per-host SFS then has to
+// absorb, while pull-based dispatch trades central queue delay for
+// never oversubscribing a host (the Hiku trade-off).
+func runClusterDispatch(cfg Config) *Report {
+	const coresPerHost = 8
+	n := scaleN(cfg, 10000)
+	hostCounts := []int{2, 4, 8}
+	loads := []float64{0.8, 1.0}
+	if cfg.Quick {
+		hostCounts = []int{2, 4}
+		loads = []float64{1.0}
+	}
+
+	rep := &Report{
+		ID:    "cluster-dispatch",
+		Title: fmt.Sprintf("dispatch policy x host count x load, SFS hosts with %d cores each", coresPerHost),
+		Paper: "beyond the paper: cluster-level placement over per-host SFS (Kaffes et al., Hiku)",
+	}
+	rep.Header = []string{"family", "load", "hosts", "dispatch", "p50", "p99", "mean", "RTE>=0.95", "qdelay max"}
+
+	type key struct {
+		family string
+		load   float64
+		hosts  int
+	}
+	best := map[key]struct {
+		policy string
+		mean   time.Duration
+	}{}
+
+	run := func(family string, load float64, hosts int, policy string, src trace.Source) {
+		d, err := cluster.NewDispatcher(policy, cluster.FactoryConfig{Hosts: hosts, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Hosts:        hosts,
+			CoresPerHost: coresPerHost,
+			NewScheduler: func() cpusim.Scheduler { return core.New(core.DefaultConfig()) },
+			Dispatcher:   d,
+		})
+		if err != nil {
+			panic(err)
+		}
+		res, err := cl.Run(src)
+		if err != nil {
+			panic(err)
+		}
+		ps := res.Merged.Percentiles([]float64{50, 99})
+		mean := res.Merged.MeanTurnaround()
+		rep.Rows = append(rep.Rows, []string{
+			family,
+			fmt.Sprintf("%.0f%%", load*100),
+			fmt.Sprintf("%d", hosts),
+			policy,
+			metrics.FormatDuration(ps[0]),
+			metrics.FormatDuration(ps[1]),
+			metrics.FormatDuration(mean),
+			fmt.Sprintf("%.1f%%", 100*res.Merged.FractionRTEAtLeast(0.95)),
+			metrics.FormatDuration(res.QueueDelayMax),
+		})
+		k := key{family, load, hosts}
+		if b, ok := best[k]; !ok || mean < b.mean {
+			best[k] = struct {
+				policy string
+				mean   time.Duration
+			}{policy, mean}
+		}
+	}
+
+	for _, hosts := range hostCounts {
+		total := hosts * coresPerHost
+		for _, load := range loads {
+			for _, policy := range cluster.Names() {
+				src := workload.AzureSampledStream(workload.AzureSampledSpec{
+					N: n, Cores: total, Load: derate(load), Seed: cfg.Seed,
+				})
+				run("azure", load, hosts, policy, src)
+			}
+		}
+		// Synthetic RPS ramp crossing cluster saturation, as in the
+		// synth-ramp experiment but calibrated to the whole cluster.
+		meanSvc := workload.TableIDistribution().Mean()
+		satRPS := float64(total) / meanSvc.Seconds()
+		for _, policy := range cluster.Names() {
+			src := workload.SyntheticStream(workload.SyntheticSpec{
+				Shape:     trace.ShapeRamp,
+				StartRPS:  0.3 * satRPS,
+				TargetRPS: 1.2 * satRPS,
+				Horizon:   time.Duration(float64(n) / (0.75 * satRPS) * float64(time.Second)),
+				N:         n,
+				Seed:      cfg.Seed,
+			})
+			run("synth-ramp", 0, hosts, policy, src)
+		}
+	}
+
+	for _, hosts := range hostCounts {
+		for _, load := range loads {
+			if b, ok := best[key{"azure", load, hosts}]; ok {
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"azure %d hosts @ %.0f%%: best mean turnaround under %s (%s)",
+					hosts, load*100, b.policy, metrics.FormatDuration(b.mean)))
+			}
+		}
+		if b, ok := best[key{"synth-ramp", 0, hosts}]; ok {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"synth-ramp %d hosts: best mean turnaround under %s (%s)",
+				hosts, b.policy, metrics.FormatDuration(b.mean)))
+		}
+	}
+	return rep
+}

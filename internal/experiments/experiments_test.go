@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "table2",
 		"ablation-secondlevel", "ablation-baselines", "ablation-window",
 		"ablation-overload", "ablation-tail", "ablation-queueing",
-		"synth-ramp",
+		"synth-ramp", "cluster-dispatch",
 	}
 	got := map[string]bool{}
 	for _, e := range All() {

@@ -2,6 +2,19 @@
 // finished task sets: execution-duration distributions, run-time
 // effectiveness (RTE), percentile breakdowns, context-switch ratios, and
 // short/long speedup summaries.
+//
+// The central type is Run — a scheduler name plus the tasks it executed.
+// Runs are cheap views over task slices (no copying), so one simulation
+// can be sliced many ways: per arrival window (the synth-ramp
+// experiment), per host (the cluster layer), or cluster-wide. Only
+// finished tasks (Turnaround() >= 0) contribute to any statistic, which
+// lets aborted or deadline-capped runs still report on what completed.
+//
+// CompareRuns matches tasks by ID across a baseline and a treatment of
+// the same workload and produces the paper's headline split: the short
+// majority's speedup versus the long minority's bounded slowdown (§I).
+// Table and FormatDuration render results the way cmd/experiments and
+// EXPERIMENTS.md present them.
 package metrics
 
 import (

@@ -5,6 +5,20 @@
 // The paper models the FILTER pool as a multi-server queueing system with
 // per-core traffic intensity rho = lambda / (c * mu); SFS bounds rho by
 // capping the FILTER service time at S = meanIAT * c.
+//
+// Two roles in the repository:
+//
+//   - Calibration: IATForLoad inverts the load definition to compute
+//     the mean inter-arrival time that offers a target utilization to c
+//     cores — every workload generator's Load knob goes through it.
+//   - Validation: ErlangC / expected-wait formulas give closed-form
+//     steady-state answers an M/M/c simulation must converge to, which
+//     the cpusim validation tests check.
+//
+// All formulas return ErrUnstable rather than a number once rho >= 1,
+// because steady-state waiting time is unbounded there; callers probing
+// the saturated regime (deliberately, in overload experiments) must
+// treat that as a regime marker, not a failure.
 package queueing
 
 import (

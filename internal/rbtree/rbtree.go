@@ -5,6 +5,15 @@
 // tasks in a red-black tree ordered by vruntime and caches the leftmost
 // node for O(1) pick-next. This implementation mirrors that shape: Min is
 // O(1) via a cached leftmost pointer, Insert/Delete are O(log n).
+//
+// Duplicate keys are allowed (two tasks can share a vruntime); callers
+// that need total order must break ties in the less function, exactly
+// as internal/sched's CFS does with task IDs — a deterministic
+// tie-break is part of the repository's reproducibility contract.
+// Delete takes the *Node returned by Insert, not a key, so removing one
+// of several equal-key entries is exact. The tree is not safe for
+// concurrent use; schedulers are single-threaded inside the simulator's
+// event loop by design.
 package rbtree
 
 type color bool

@@ -7,6 +7,15 @@
 // an xoshiro256** mixer. The generator is not cryptographically secure and
 // is not safe for concurrent use; each simulation component owns its own
 // stream, derived via Split.
+//
+// Split is the load-bearing operation: a parent seeded with S derives
+// child streams deterministically, so a workload spec can hand
+// independent streams to its duration sampler, app picker, I/O knob,
+// and arrival process without their draws interleaving. That is what
+// keeps generated traces stable when one consumer starts drawing more
+// (or fewer) samples than before — the other streams are unaffected.
+// The split order is part of a generator's compatibility contract:
+// reordering Split calls changes every downstream trace.
 package rng
 
 import "math"

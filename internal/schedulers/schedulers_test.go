@@ -1,0 +1,81 @@
+package schedulers
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNamesInSync: Names() and the constructor map must cover exactly
+// the same schedulers, in both directions.
+func TestNamesInSync(t *testing.T) {
+	if len(names) != len(constructors) {
+		t.Fatalf("names has %d entries, constructors %d", len(names), len(constructors))
+	}
+	for _, n := range names {
+		if _, ok := constructors[n]; !ok {
+			t.Errorf("name %s has no constructor", n)
+		}
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate name %s", n)
+		}
+		seen[n] = true
+	}
+	for n := range constructors {
+		if !seen[n] {
+			t.Errorf("constructor %s missing from names", n)
+		}
+	}
+}
+
+// TestNewConstructsEveryScheduler: each registered name must build a
+// working scheduler that reports a non-empty name.
+func TestNewConstructsEveryScheduler(t *testing.T) {
+	for _, n := range Names() {
+		s, err := New(n)
+		if err != nil {
+			t.Errorf("New(%q): %v", n, err)
+			continue
+		}
+		if s.Name() == "" {
+			t.Errorf("scheduler %s reports an empty name", n)
+		}
+	}
+}
+
+// TestNewCaseInsensitive: lookups must ignore case.
+func TestNewCaseInsensitive(t *testing.T) {
+	for _, n := range Names() {
+		for _, variant := range []string{strings.ToLower(n), n[:1] + strings.ToLower(n[1:])} {
+			if _, err := New(variant); err != nil {
+				t.Errorf("New(%q): %v", variant, err)
+			}
+		}
+	}
+}
+
+// TestNewUnknown: unknown names must error, and the error must list
+// every valid choice so CLI users can self-correct.
+func TestNewUnknown(t *testing.T) {
+	_, err := New("nope")
+	if err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not mention %s", err, n)
+		}
+	}
+}
+
+// TestNamesIsACopy: mutating the returned slice must not corrupt the
+// registry.
+func TestNamesIsACopy(t *testing.T) {
+	a := Names()
+	a[0] = "CLOBBERED"
+	if Names()[0] == "CLOBBERED" {
+		t.Fatal("Names returns the registry's backing array")
+	}
+}

@@ -6,6 +6,16 @@
 // queue is an indexed binary min-heap keyed by (time, sequence) so that
 // events scheduled for the same instant fire in FIFO order, which keeps
 // simulations deterministic.
+//
+// A Queue never advances on its own: Step (or Run/RunAll) pops the
+// earliest event and moves Now to its time, so whoever calls Step owns
+// the pace of time. cpusim.Engine.Run steps one queue to completion;
+// the cluster layer instead interleaves many queues by always stepping
+// the engine whose next event is globally earliest. Scheduling At a
+// time already in the past is clamped to Now and fires on the next
+// Step — the idiom for "immediate" follow-up work. Cancel is O(log n)
+// and safe on already-fired events, which is what lets schedulers
+// re-arm timers without bookkeeping.
 package simtime
 
 import "time"

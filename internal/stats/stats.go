@@ -2,6 +2,20 @@
 // SFS reproduction: online moment accumulators, sliding windows (the SFS
 // monitor's IAT window), exact percentile/CDF extraction for experiment
 // output, and log-spaced histograms.
+//
+// The accumulators fall into two families with different cost models:
+//
+//   - Streaming: Online (Welford's single-pass mean/variance) and
+//     Window (fixed-capacity ring, the structure behind SFS's
+//     mean-of-last-k-IATs slice adaptation) never hold more than O(1)
+//     or O(k) state and are safe on the simulator's hot paths.
+//   - Materialized: Percentile, CDF, and the histogram helpers sort or
+//     bucket full samples and are meant for end-of-run reporting, where
+//     the paper's figures need exact (not approximated) quantiles.
+//
+// Percentiles use the nearest-rank definition on a sorted copy; inputs
+// are never mutated. CDFPoint slices are what internal/experiments
+// plots as figure series.
 package stats
 
 import (
