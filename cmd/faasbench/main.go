@@ -24,8 +24,10 @@
 //	faasbench gen -arrivals trace -spikes 5
 //	faasbench export -arrivals synth -shape ramp -start-rps 50 -target-rps 500 -horizon 60s -o ramp.csv
 //	faasbench replay -in ramp.csv -sched SFS -cores 16
+//	faasbench replay -in ramp.csv -sched SFS -keepalive HIST -memory 2048
 //	faasbench cluster -hosts 4 -host-cores 8 -dispatch PULL -sched SFS -arrivals trace
 //	faasbench cluster -in ramp.csv -hosts 2 -host-cores 16 -dispatch JSQ
+//	faasbench cluster -hosts 4 -dispatch WARMFIRST -keepalive TTL -memory 1024 -arrivals trace
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/schedulers"
 	"github.com/serverless-sched/sfs/internal/stats"
@@ -44,6 +47,51 @@ import (
 	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
+
+// kaFlags is the container keep-alive flag set shared by the replay and
+// cluster subcommands.
+type kaFlags struct {
+	policy *string
+	memory *int
+	ttl    *time.Duration
+}
+
+func newKAFlags(fs *flag.FlagSet) *kaFlags {
+	return &kaFlags{
+		policy: fs.String("keepalive", "", "container keep-alive policy: "+strings.Join(lifecycle.PolicyNames(), ", ")+" (empty = pre-warmed, no cold starts)"),
+		memory: fs.Int("memory", 0, "container memory capacity in MB per host (0 = unlimited; needs -keepalive)"),
+		ttl:    fs.Duration("keepalive-ttl", lifecycle.DefaultTTL, "fixed keep-alive window (TTL policy) and HIST fallback"),
+	}
+}
+
+func (k *kaFlags) enabled() bool { return *k.policy != "" }
+
+// newManager builds one host's manager; call only when enabled (the
+// name and capacity were checked by validate, so errors here are
+// internal).
+func (k *kaFlags) newManager(seed uint64) *lifecycle.Manager {
+	m, err := lifecycle.NewByName(*k.policy, *k.memory, *k.ttl, seed)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func (k *kaFlags) validate() {
+	if !k.enabled() {
+		if *k.memory != 0 {
+			fatal(fmt.Errorf("-memory needs -keepalive (pre-warmed runs model no containers)"))
+		}
+		return
+	}
+	if _, err := lifecycle.NewByName(*k.policy, *k.memory, *k.ttl, 0); err != nil {
+		fatal(err)
+	}
+}
+
+func (k *kaFlags) report(st lifecycle.Stats) {
+	fmt.Println(st.Summary(*k.policy))
+}
 
 func main() {
 	args := os.Args[1:]
@@ -207,10 +255,13 @@ func cmdReplay(args []string) {
 	in := fs.String("in", "", "trace CSV to replay (required)")
 	schedName := fs.String("sched", "", "simulate the trace under a scheduler ("+strings.Join(schedulers.Names(), ", ")+"); empty = summarize only")
 	cores := fs.Int("cores", 16, "cores of the simulated host")
+	seed := fs.Uint64("seed", 42, "RNG seed for cold-start sampling")
+	ka := newKAFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
 		fatal(fmt.Errorf("replay needs -in trace.csv"))
 	}
+	ka.validate()
 	f, err := os.Open(*in)
 	if err != nil {
 		fatal(err)
@@ -231,13 +282,26 @@ func cmdReplay(args []string) {
 		fatal(fmt.Errorf("empty trace"))
 	}
 	eng := cpusim.NewEngine(cpusim.Config{Cores: *cores, Deadline: 10000 * time.Hour}, s)
-	eng.Submit(tasks...)
 	start := time.Now()
-	makespan := eng.Run()
+	var makespan time.Duration
+	var mgr *lifecycle.Manager
+	if ka.enabled() {
+		mgr = ka.newManager(*seed)
+		if makespan, err = lifecycle.Run(trace.FromTasks(*in, tasks), mgr, eng); err != nil {
+			fatal(err)
+		}
+		tasks = eng.Tasks()
+	} else {
+		eng.Submit(tasks...)
+		makespan = eng.Run()
+	}
 	fmt.Printf("replayed %d invocations from %s under %s on %d cores\n", len(tasks), *in, s.Name(), *cores)
 	fmt.Printf("simulated %v of virtual time in %v wall time (%d ctx switches, %.0f%% utilization)\n",
 		makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
 		eng.TotalCtxSwitches, eng.Utilization()*100)
+	if mgr != nil {
+		ka.report(mgr.Stats())
+	}
 	r := metrics.Run{Scheduler: s.Name(), Tasks: tasks}
 	ps := r.Percentiles([]float64{50, 90, 99, 99.9})
 	fmt.Printf("turnaround: p50=%s p90=%s p99=%s p99.9=%s mean=%s\n",
@@ -267,10 +331,12 @@ func cmdCluster(args []string) {
 	dispatch := g.fs.String("dispatch", "RR", "dispatch policy: "+strings.Join(cluster.Names(), ", "))
 	schedName := g.fs.String("sched", "SFS", "per-host scheduler: "+strings.Join(schedulers.Names(), ", "))
 	in := g.fs.String("in", "", "replay this trace CSV instead of generating (gen flags ignored)")
+	ka := newKAFlags(g.fs)
 	g.fs.Parse(args)
 	if *hosts < 1 || *hostCores < 1 {
 		fatal(fmt.Errorf("cluster needs -hosts >= 1 and -host-cores >= 1"))
 	}
+	ka.validate()
 
 	var src trace.Source
 	if *in != "" {
@@ -294,12 +360,16 @@ func cmdCluster(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	cl, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Hosts:        *hosts,
 		CoresPerHost: *hostCores,
 		NewScheduler: func() cpusim.Scheduler { return mkScheduler(*schedName) },
 		Dispatcher:   d,
-	})
+	}
+	if ka.enabled() {
+		cfg.NewLifecycle = func() *lifecycle.Manager { return ka.newManager(*g.seed) }
+	}
+	cl, err := cluster.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -314,6 +384,9 @@ func cmdCluster(args []string) {
 	fmt.Printf("simulated %v of virtual time in %v wall time\n",
 		res.Makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Print(res.RenderPerHost())
+	if ka.enabled() {
+		ka.report(res.Lifecycle)
+	}
 	ps := res.Merged.Percentiles([]float64{50, 90, 99, 99.9})
 	fmt.Printf("cluster-wide turnaround: p50=%s p90=%s p99=%s p99.9=%s mean=%s\n",
 		metrics.FormatDuration(ps[0]), metrics.FormatDuration(ps[1]),

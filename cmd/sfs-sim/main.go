@@ -10,6 +10,7 @@
 //	sfs-sim -sched CFS -n 10000 -cores 16 -load 0.8 -arrivals trace
 //	sfs-sim -sched SFS -fixed-slice 100ms -io-fraction 0.75
 //	sfs-sim -hosts 4 -dispatch JSQ -sched SFS -cores 8 -load 0.9
+//	sfs-sim -keepalive HIST -memory 4096 -arrivals trace
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/core"
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/sched"
 	"github.com/serverless-sched/sfs/internal/schedulers"
@@ -30,6 +32,28 @@ import (
 	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
+
+// keepaliveOpts carries the container lifecycle flags. Zero Policy
+// means the paper's pre-warmed setup (no cold starts modeled).
+type keepaliveOpts struct {
+	policy string
+	memory int
+	ttl    time.Duration
+	seed   uint64
+}
+
+// enabled reports whether lifecycle modeling was requested.
+func (k keepaliveOpts) enabled() bool { return k.policy != "" }
+
+// newManager builds one host's lifecycle manager from the flags.
+func (k keepaliveOpts) newManager() (*lifecycle.Manager, error) {
+	return lifecycle.NewByName(k.policy, k.memory, k.ttl, k.seed)
+}
+
+// report prints the cold-start summary line shared by both modes.
+func (k keepaliveOpts) report(st lifecycle.Stats) {
+	fmt.Println(st.Summary(k.policy))
+}
 
 func main() {
 	var (
@@ -50,12 +74,27 @@ func main() {
 		startRPS   = flag.Float64("start-rps", 50, "synth arrivals: starting RPS")
 		targetRPS  = flag.Float64("target-rps", 500, "synth arrivals: RPS at the end of the ramp")
 		horizon    = flag.Duration("horizon", 60*time.Second, "synth arrivals: trace span")
+		keepalive  = flag.String("keepalive", "", "container keep-alive policy: "+strings.Join(lifecycle.PolicyNames(), ", ")+" (empty = pre-warmed, no cold starts)")
+		memory     = flag.Int("memory", 0, "container memory capacity in MB per host (0 = unlimited; needs -keepalive)")
+		kaTTL      = flag.Duration("keepalive-ttl", lifecycle.DefaultTTL, "fixed keep-alive window (TTL policy) and HIST fallback")
 	)
 	flag.Parse()
 
 	if *hosts < 1 {
 		fmt.Fprintln(os.Stderr, "-hosts must be at least 1")
 		os.Exit(1)
+	}
+	ka := keepaliveOpts{policy: *keepalive, memory: *memory, ttl: *kaTTL, seed: *seed}
+	if !ka.enabled() && *memory != 0 {
+		fmt.Fprintln(os.Stderr, "-memory needs -keepalive (pre-warmed runs model no containers)")
+		os.Exit(1)
+	}
+	if ka.enabled() {
+		// Validate the policy name before simulating anything.
+		if _, err := ka.newManager(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	totalCores := *hosts * *cores
 
@@ -72,10 +111,10 @@ func main() {
 			os.Exit(1)
 		}
 		if *hosts > 1 {
-			runCluster(trace.FromTasks(*wlFile, tasks), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO)
+			runCluster(trace.FromTasks(*wlFile, tasks), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka)
 			return
 		}
-		runReplay(tasks, *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO)
+		runReplay(tasks, *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka)
 		return
 	}
 
@@ -102,10 +141,10 @@ func main() {
 		w.Description, w.MeanService, w.MeanIAT, w.OfferedLoad(totalCores))
 
 	if *hosts > 1 {
-		runCluster(w.Source(), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO)
+		runCluster(w.Source(), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka)
 		return
 	}
-	runReplay(w.Clone(), *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO)
+	runReplay(w.Clone(), *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka)
 }
 
 // mkFactory builds the per-host scheduler constructor for cluster mode,
@@ -134,7 +173,7 @@ func mkFactory(schedName string, fixedSlice, poll time.Duration, noHybrid, noIO 
 
 // runCluster simulates the source across hosts behind the named
 // dispatch policy and reports merged plus per-host metrics.
-func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, seed uint64, fixedSlice, poll time.Duration, noHybrid, noIO bool) {
+func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, seed uint64, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts) {
 	factory, err := mkFactory(schedName, fixedSlice, poll, noHybrid, noIO)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -145,12 +184,22 @@ func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, 
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	cl, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Hosts:        hosts,
 		CoresPerHost: cores,
 		NewScheduler: factory,
 		Dispatcher:   d,
-	})
+	}
+	if ka.enabled() {
+		cfg.NewLifecycle = func() *lifecycle.Manager {
+			m, err := ka.newManager()
+			if err != nil {
+				panic(err) // validated in main
+			}
+			return m
+		}
+	}
+	cl, err := cluster.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -165,12 +214,15 @@ func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, 
 	fmt.Printf("simulated %v of virtual time in %v wall time\n",
 		res.Makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Print(res.RenderPerHost())
+	if ka.enabled() {
+		ka.report(res.Lifecycle)
+	}
 	fmt.Println()
 	report(res.Merged, nil, res.Makespan, nil)
 }
 
 // runReplay simulates tasks under the named scheduler and reports.
-func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll time.Duration, noHybrid, noIO bool) {
+func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts) {
 	var sfs *core.SFS
 	var s cpusim.Scheduler
 	switch strings.ToUpper(schedName) {
@@ -183,6 +235,13 @@ func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll
 		sfs = core.New(cfg)
 		s = sfs
 	case "IDEAL":
+		if ka.enabled() {
+			// IDEAL is the analytic zero-interference oracle; silently
+			// dropping cold starts would make baseline comparisons
+			// unfair, so refuse rather than ignore the flag.
+			fmt.Fprintln(os.Stderr, "-keepalive is not supported with -sched IDEAL (the oracle models no containers)")
+			os.Exit(1)
+		}
 		sched.RunIdeal(tasks)
 		report(metrics.Run{Scheduler: "IDEAL", Tasks: tasks}, nil, 0, nil)
 		return
@@ -195,12 +254,30 @@ func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll
 	}
 
 	eng := cpusim.NewEngine(cpusim.Config{Cores: cores, Deadline: 10000 * time.Hour}, s)
-	eng.Submit(tasks...)
 	start := time.Now()
-	makespan := eng.Run()
+	var makespan time.Duration
+	var mgr *lifecycle.Manager
+	if ka.enabled() {
+		var err error
+		if mgr, err = ka.newManager(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if makespan, err = lifecycle.Run(trace.FromTasks("replay", tasks), mgr, eng); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tasks = eng.Tasks()
+	} else {
+		eng.Submit(tasks...)
+		makespan = eng.Run()
+	}
 	fmt.Printf("simulated %v of virtual time in %v wall time (%d ctx switches, %.0f%% utilization)\n",
 		makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
 		eng.TotalCtxSwitches, eng.Utilization()*100)
+	if mgr != nil {
+		ka.report(mgr.Stats())
+	}
 	report(metrics.Run{Scheduler: s.Name(), Tasks: tasks}, eng, makespan, sfs)
 }
 

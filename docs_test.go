@@ -1,0 +1,89 @@
+package sfs_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/serverless-sched/sfs/internal/cluster"
+	"github.com/serverless-sched/sfs/internal/lifecycle"
+	"github.com/serverless-sched/sfs/internal/schedulers"
+)
+
+// readDoc loads a documentation file relative to the repo root.
+func readDoc(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("documentation file missing: %v", err)
+	}
+	return string(b)
+}
+
+// TestREADMEListsRegistries: the README must name every registered
+// scheduler, dispatch policy, and keep-alive policy, so the front-page
+// docs cannot drift from the code the CLIs actually accept (the CLIs
+// themselves build their -h text from the registries, so they cannot
+// drift by construction).
+func TestREADMEListsRegistries(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	for _, group := range []struct {
+		what  string
+		names []string
+	}{
+		{"scheduler", schedulers.Names()},
+		{"dispatch policy", cluster.Names()},
+		{"keep-alive policy", lifecycle.PolicyNames()},
+	} {
+		for _, n := range group.names {
+			if !strings.Contains(readme, n) {
+				t.Errorf("README.md does not mention %s %q", group.what, n)
+			}
+		}
+	}
+}
+
+// TestGuideCoversCoreTasks: the user guide must exist, link the
+// architecture doc, name the keep-alive registry, and walk through the
+// keepalive experiment the CI pipeline archives.
+func TestGuideCoversCoreTasks(t *testing.T) {
+	guide := readDoc(t, "docs/GUIDE.md")
+	for _, want := range []string{
+		"ARCHITECTURE.md",
+		"cmd/experiments",
+		"faasbench replay",
+		"-keepalive",
+		"-id keepalive",
+		"-dispatch",
+	} {
+		if !strings.Contains(guide, want) {
+			t.Errorf("docs/GUIDE.md does not cover %q", want)
+		}
+	}
+	for _, n := range lifecycle.PolicyNames() {
+		if !strings.Contains(guide, n) {
+			t.Errorf("docs/GUIDE.md does not mention keep-alive policy %q", n)
+		}
+	}
+	// And the README must point readers at the guide.
+	if !strings.Contains(readDoc(t, "README.md"), "docs/GUIDE.md") {
+		t.Error("README.md does not link docs/GUIDE.md")
+	}
+}
+
+// TestArchitectureCoversThirdRegistry: the architecture doc must
+// describe all three registries and the lifecycle layer.
+func TestArchitectureCoversThirdRegistry(t *testing.T) {
+	arch := readDoc(t, "docs/ARCHITECTURE.md")
+	for _, want := range []string{
+		"internal/schedulers",
+		"internal/cluster/dispatch.go",
+		"internal/lifecycle/policy.go",
+		"keep-alive",
+		"lifecycle",
+	} {
+		if !strings.Contains(arch, want) {
+			t.Errorf("docs/ARCHITECTURE.md does not cover %q", want)
+		}
+	}
+}

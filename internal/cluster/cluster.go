@@ -11,12 +11,20 @@
 // Dispatcher decides which host sees each invocation; a central FIFO
 // queue holds work that pull-based policies decline to place.
 //
+// With Config.NewLifecycle set, every host additionally carries a
+// container lifecycle manager (internal/lifecycle): an invocation
+// acquires a warm or cold container on its dispatched host, cold-start
+// latency delays the instant it becomes runnable there, and dispatch
+// policies can route on warm state (WARMFIRST prefers hosts already
+// holding an idle sandbox for the app).
+//
 // The simulation is deterministic: every engine is driven from one
 // global loop that always fires the globally-earliest pending event
 // (host ties break by index, host events before same-instant arrivals),
 // dispatchers are deterministic functions of seed and observed state,
-// and sources are deterministic in their spec — so the same
-// spec/seed/host-count yields identical metrics on every run.
+// container expiry and pre-warm events are processed in the same global
+// time order, and sources are deterministic in their spec — so the same
+// spec/seed/host-count/policy yields identical metrics on every run.
 package cluster
 
 import (
@@ -25,6 +33,7 @@ import (
 	"time"
 
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/simtime"
 	"github.com/serverless-sched/sfs/internal/task"
@@ -48,13 +57,21 @@ type Config struct {
 	NewScheduler func() cpusim.Scheduler
 	// Dispatcher is the cluster-level placement policy.
 	Dispatcher Dispatcher
+	// NewLifecycle, when non-nil, constructs one container lifecycle
+	// manager per host: invocations acquire a (possibly cold) container
+	// on their dispatched host, and affinity-aware dispatchers can read
+	// each host's warm pool through Host.Warm. Nil models the paper's
+	// pre-warmed setup with no cold starts.
+	NewLifecycle func() *lifecycle.Manager
 }
 
-// host pairs one engine with its dispatch accounting. It implements the
-// Host view dispatchers decide from.
+// host pairs one engine with its dispatch accounting and (optionally)
+// its container lifecycle manager. It implements the Host view
+// dispatchers decide from.
 type host struct {
 	idx        int
 	eng        *cpusim.Engine
+	mgr        *lifecycle.Manager // nil when lifecycle modeling is off
 	dispatched int
 }
 
@@ -63,6 +80,13 @@ func (h *host) Cores() int      { return h.eng.NumCores() }
 func (h *host) InFlight() int   { return h.eng.Pending() }
 func (h *host) BusyCores() int  { return h.eng.BusyCores() }
 func (h *host) Dispatched() int { return h.dispatched }
+
+func (h *host) Warm(app string) int {
+	if h.mgr == nil {
+		return 0
+	}
+	return h.mgr.WarmIdle(app)
+}
 
 func (h *host) Queued() int {
 	if q := h.eng.Pending() - h.eng.BusyCores(); q > 0 {
@@ -86,6 +110,9 @@ type HostResult struct {
 	Dispatches  int
 	CtxSwitches int64
 	Utilization float64
+	// Lifecycle holds the host's container warm-pool counters (zero
+	// when lifecycle modeling was off).
+	Lifecycle lifecycle.Stats
 }
 
 // Result is the outcome of a cluster run.
@@ -105,6 +132,9 @@ type Result struct {
 	QueueDelayMean time.Duration
 	// CentralQueueMax is the central queue's high-water mark.
 	CentralQueueMax int
+	// Lifecycle merges every host's container warm-pool counters (zero
+	// when Config.NewLifecycle was nil).
+	Lifecycle lifecycle.Stats
 	// Aborted reports that the run ended with unfinished work: a
 	// deadline abort, or a host left stranded with pending tasks and no
 	// future events (a scheduler that parked work without re-arming).
@@ -123,10 +153,14 @@ func (res *Result) RenderPerHost() string {
 			res.CentralQueueMax, metrics.FormatDuration(res.QueueDelayMean), metrics.FormatDuration(res.QueueDelayMax))
 	}
 	header := []string{"host", "dispatched", "ctx switches", "util", "p50", "p99", "mean"}
+	withLifecycle := res.Lifecycle.Invocations > 0
+	if withLifecycle {
+		header = append(header, metrics.ColdStartHeader()...)
+	}
 	var rows [][]string
 	for i, hr := range res.PerHost {
 		ps := hr.Run.Percentiles([]float64{50, 99})
-		rows = append(rows, []string{
+		row := []string{
 			fmt.Sprintf("%d", i),
 			fmt.Sprintf("%d", hr.Dispatches),
 			fmt.Sprintf("%d", hr.CtxSwitches),
@@ -134,7 +168,11 @@ func (res *Result) RenderPerHost() string {
 			metrics.FormatDuration(ps[0]),
 			metrics.FormatDuration(ps[1]),
 			metrics.FormatDuration(hr.Run.MeanTurnaround()),
-		})
+		}
+		if withLifecycle {
+			row = append(row, hr.Lifecycle.Columns()...)
+		}
+		rows = append(rows, row)
 	}
 	b.WriteString(metrics.Table(header, rows))
 	return b.String()
@@ -167,6 +205,11 @@ func New(cfg Config) (*Cluster, error) {
 			Cores:         cfg.CoresPerHost,
 			CtxSwitchCost: cfg.CtxSwitchCost,
 		}, cfg.NewScheduler())}
+		if cfg.NewLifecycle != nil {
+			if h.mgr = cfg.NewLifecycle(); h.mgr == nil {
+				return nil, fmt.Errorf("cluster: NewLifecycle returned nil for host %d", i)
+			}
+		}
 		c.hosts = append(c.hosts, h)
 		c.views = append(c.views, h)
 	}
@@ -190,10 +233,37 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 		aborted bool
 	)
 
+	// owner remembers which container each in-flight invocation holds,
+	// so host completion events can release it back to the warm pool.
+	var owner map[*task.Task]*lifecycle.Container
+	if c.cfg.NewLifecycle != nil {
+		owner = map[*task.Task]*lifecycle.Container{}
+		for _, h := range c.hosts {
+			h := h
+			h.eng.SetTracer(func(ev cpusim.TraceEvent) {
+				if ev.Kind != cpusim.TraceFinish {
+					return
+				}
+				if cont := owner[ev.Task]; cont != nil {
+					h.mgr.Release(ev.At, cont)
+					delete(owner, ev.Task)
+				}
+			})
+		}
+	}
+
 	// offer asks the dispatcher to place records[ri], parking it in the
 	// central queue on Hold.
 	offer := func(at simtime.Time, ri int) bool {
 		rec := &records[ri]
+		if owner != nil {
+			// Age out expired containers first so affinity-aware
+			// policies (and the Acquire below) see the warm pools as of
+			// the decision instant.
+			for _, h := range c.hosts {
+				h.mgr.AdvanceTo(at)
+			}
+		}
 		idx := c.cfg.Dispatcher.Pick(at, rec.t, c.views)
 		if idx == Hold {
 			return false
@@ -209,6 +279,15 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 		// before metrics are computed.
 		if at > rec.t.Arrival {
 			rec.t.Arrival = at
+		}
+		if owner != nil {
+			// The chosen host acquires a container; a cold start delays
+			// the moment the invocation becomes runnable there.
+			delay, cont := c.hosts[idx].mgr.Acquire(at, rec.t.App)
+			owner[rec.t] = cont
+			if delay > 0 {
+				rec.t.Arrival += delay
+			}
 		}
 		c.hosts[idx].eng.Submit(rec.t)
 		c.hosts[idx].dispatched++
@@ -357,12 +436,17 @@ func (c *Cluster) result(records []record, maxQ int, aborted bool) *Result {
 		if res.Makespan > 0 {
 			util = float64(h.eng.BusyTime()) / (float64(res.Makespan) * float64(h.eng.NumCores()))
 		}
-		res.PerHost = append(res.PerHost, HostResult{
+		hr := HostResult{
 			Run:         metrics.Run{Scheduler: fmt.Sprintf("%s host%d", schedName, i), Tasks: perHost[i]},
 			Dispatches:  h.dispatched,
 			CtxSwitches: h.eng.TotalCtxSwitches,
 			Utilization: util,
-		})
+		}
+		if h.mgr != nil {
+			hr.Lifecycle = h.mgr.Stats()
+			res.Lifecycle.Add(hr.Lifecycle)
+		}
+		res.PerHost = append(res.PerHost, hr)
 	}
 	return res
 }

@@ -30,6 +30,10 @@ type Host interface {
 	// Dispatched is the cumulative number of invocations ever sent to
 	// this host.
 	Dispatched() int
+	// Warm is the number of idle warm containers the host holds for
+	// app — always 0 when container lifecycle modeling is disabled.
+	// Affinity-aware policies (WARMFIRST) route on it.
+	Warm(app string) int
 }
 
 // Dispatcher is the cluster-level placement policy: it decides, for each
@@ -151,6 +155,37 @@ func (hashAffinity) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
 	return int(h.Sum32() % uint32(len(hosts)))
 }
 
+// warmFirst prefers hosts already holding an idle warm container for
+// the invocation's application — the dispatch-side counterpart of
+// keep-alive, in the spirit of Przybylski et al.'s data-driven
+// placement: where HASH pins an app to one host unconditionally,
+// WARMFIRST follows the warm state itself, so it exploits affinity
+// when a sandbox exists and load-balances when none does. Among warm
+// hosts the least-loaded wins (ties to the lowest index); with no warm
+// host anywhere it degrades to LEASTLOADED, whose spreading seeds warm
+// pools on every machine. Requires cluster lifecycle modeling to see
+// any warm state; without it Warm is always 0 and the policy is
+// exactly LEASTLOADED.
+type warmFirst struct{}
+
+func (warmFirst) Name() string { return "WARMFIRST" }
+
+func (warmFirst) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
+	best := -1
+	for i, h := range hosts {
+		if h.Warm(t.App) == 0 {
+			continue
+		}
+		if best < 0 || h.InFlight() < hosts[best].InFlight() {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return leastLoaded{}.Pick(now, t, hosts)
+}
+
 // ---- registry ----
 
 // FactoryConfig carries the construction parameters a dispatch policy
@@ -173,10 +208,11 @@ var constructors = map[string]func(cfg FactoryConfig) Dispatcher{
 	"JSQ":         func(FactoryConfig) Dispatcher { return joinShortestQueue{} },
 	"PULL":        func(FactoryConfig) Dispatcher { return pullBased{} },
 	"HASH":        func(FactoryConfig) Dispatcher { return hashAffinity{} },
+	"WARMFIRST":   func(FactoryConfig) Dispatcher { return warmFirst{} },
 }
 
 // names in presentation order.
-var names = []string{"RR", "RANDOM", "LEASTLOADED", "JSQ", "PULL", "HASH"}
+var names = []string{"RR", "RANDOM", "LEASTLOADED", "JSQ", "PULL", "HASH", "WARMFIRST"}
 
 // Names returns the canonical dispatch-policy names NewDispatcher
 // recognizes.

@@ -71,13 +71,15 @@ func TestNamesIsACopy(t *testing.T) {
 // fakeHost is a hand-set Host view for pure policy tests.
 type fakeHost struct {
 	idx, cores, inFlight, busy, dispatched int
+	warm                                   map[string]int
 }
 
-func (f fakeHost) Index() int      { return f.idx }
-func (f fakeHost) Cores() int      { return f.cores }
-func (f fakeHost) InFlight() int   { return f.inFlight }
-func (f fakeHost) BusyCores() int  { return f.busy }
-func (f fakeHost) Dispatched() int { return f.dispatched }
+func (f fakeHost) Index() int          { return f.idx }
+func (f fakeHost) Cores() int          { return f.cores }
+func (f fakeHost) InFlight() int       { return f.inFlight }
+func (f fakeHost) BusyCores() int      { return f.busy }
+func (f fakeHost) Dispatched() int     { return f.dispatched }
+func (f fakeHost) Warm(app string) int { return f.warm[app] }
 func (f fakeHost) Queued() int {
 	if q := f.inFlight - f.busy; q > 0 {
 		return q
@@ -164,5 +166,41 @@ func TestPolicyPicks(t *testing.T) {
 		if got := h.Pick(now, ta, hosts); got != first {
 			t.Fatal("HASH not sticky for equal app names")
 		}
+	}
+}
+
+// TestWarmFirstPicks: WARMFIRST must follow warm containers for the
+// app, break warm ties by load, and degrade to LEASTLOADED when no
+// host is warm.
+func TestWarmFirstPicks(t *testing.T) {
+	d, err := NewDispatcher("WARMFIRST", FactoryConfig{Hosts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := simtime.Time(0)
+	tk := task.New(0, 0, 1)
+	tk.App = "fib"
+
+	hosts := []Host{
+		fakeHost{idx: 0, cores: 4, inFlight: 3, warm: map[string]int{"fib": 1}},
+		fakeHost{idx: 1, cores: 4, inFlight: 1, warm: map[string]int{"md": 2}},
+		fakeHost{idx: 2, cores: 4, inFlight: 2, warm: map[string]int{"fib": 2}},
+	}
+	// Hosts 0 and 2 are warm for fib; 2 is less loaded.
+	if got := d.Pick(now, tk, hosts); got != 2 {
+		t.Errorf("WARMFIRST picked %d, want warm host 2", got)
+	}
+	// No warm host for the app: least loaded wins.
+	tk.App = "sa"
+	if got := d.Pick(now, tk, hosts); got != 1 {
+		t.Errorf("WARMFIRST without warm hosts picked %d, want least-loaded 1", got)
+	}
+	// Warm tie at equal load breaks to the lowest index.
+	tie := []Host{
+		fakeHost{idx: 0, cores: 4, inFlight: 2, warm: map[string]int{"sa": 1}},
+		fakeHost{idx: 1, cores: 4, inFlight: 2, warm: map[string]int{"sa": 1}},
+	}
+	if got := d.Pick(now, tk, tie); got != 0 {
+		t.Errorf("WARMFIRST tie picked %d, want 0", got)
 	}
 }

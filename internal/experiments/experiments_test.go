@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "table2",
 		"ablation-secondlevel", "ablation-baselines", "ablation-window",
 		"ablation-overload", "ablation-tail", "ablation-queueing",
-		"synth-ramp", "cluster-dispatch",
+		"synth-ramp", "cluster-dispatch", "keepalive",
 	}
 	got := map[string]bool{}
 	for _, e := range All() {
@@ -153,4 +153,50 @@ func TestTable2OverheadMagnitude(t *testing.T) {
 // fmtSscan parses "3.6%" into a float.
 func fmtSscan(s string, v *float64) (int, error) {
 	return fmt.Sscanf(strings.TrimSuffix(s, "%"), "%f", v)
+}
+
+// TestKeepaliveOrdering: the keepalive experiment must reproduce the
+// expected warm-hit ordering — HIST >= TTL >= NONE at equal memory —
+// on every family × memory point, and every ordering note must report
+// "holds".
+func TestKeepaliveOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep := runKeepalive(quick)
+	checked := 0
+	for _, n := range rep.Notes {
+		if !strings.Contains(n, ">=") {
+			continue
+		}
+		checked++
+		if strings.Contains(n, "VIOLATED") {
+			t.Errorf("ordering violated: %s", n)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("keepalive report has no ordering notes")
+	}
+	// The periodic family is constructed so the gaps between policies
+	// are wide, not ties: verify from the raw rows that HIST is
+	// strictly better than TTL there at unlimited memory.
+	var hist, ttl float64
+	for _, row := range rep.Rows {
+		if row[0] != "periodic" || row[1] != "inf" {
+			continue
+		}
+		var v float64
+		if _, err := fmtSscan(row[3], &v); err != nil {
+			t.Fatalf("unparseable warm-hit %q", row[3])
+		}
+		switch row[2] {
+		case "HIST":
+			hist = v
+		case "TTL":
+			ttl = v
+		}
+	}
+	if hist <= ttl {
+		t.Errorf("periodic family: HIST warm-hit %.1f%% should strictly beat TTL %.1f%%", hist, ttl)
+	}
 }

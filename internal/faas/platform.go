@@ -11,18 +11,26 @@
 // that OpenLambda overheads "diminish the performance benefits of SFS to
 // some extent" while leaving the majority improvement intact.
 //
-// Cold starts are disabled by default, as in the paper (auto-scaling off,
-// containers pre-warmed); a configurable cold-start model is provided for
-// the §X discussion experiments.
+// Cold starts are disabled by default, as in the paper (auto-scaling
+// off, containers pre-warmed). Setting Config.Lifecycle plugs in the
+// stateful container model of internal/lifecycle instead: per-app warm
+// pools, memory-pressure eviction, and pluggable keep-alive policies,
+// with each cold start's sampled latency injected into the timeline
+// before the invocation becomes runnable — the §X discussion made
+// concrete.
 package faas
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/task"
 	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
@@ -61,20 +69,15 @@ func DefaultOverheads() Overheads {
 	}
 }
 
-// ColdStartModel optionally injects container cold starts (disabled in
-// the paper's evaluation; exposed for the §X discussion).
-type ColdStartModel struct {
-	// Fraction of requests that suffer a cold start.
-	Fraction float64
-	// Penalty samples the added startup latency.
-	Penalty dist.Distribution
-}
-
 // Config assembles a platform.
 type Config struct {
 	Cores     int
 	Overheads Overheads
-	ColdStart ColdStartModel
+	// Lifecycle, when non-nil, models stateful container cold starts
+	// through internal/lifecycle: warm pools, keep-alive policy, memory
+	// capacity. Nil reproduces the paper's setup — auto-scaling off,
+	// every container pre-warmed, no cold starts.
+	Lifecycle *lifecycle.Config
 	// SFSPort marks that the scheduler under test is reached via the UDP
 	// notification hop.
 	SFSPort bool
@@ -92,10 +95,17 @@ type Platform struct {
 	cfg Config
 }
 
-// New builds a platform. Cores must be positive.
+// New builds a platform. It panics on invalid configuration: a
+// non-positive core count, or a Lifecycle config lifecycle.New
+// rejects — so a Platform that constructs is a Platform that runs.
 func New(cfg Config) *Platform {
 	if cfg.Cores <= 0 {
 		panic("faas: cores must be positive")
+	}
+	if cfg.Lifecycle != nil {
+		if _, err := lifecycle.New(*cfg.Lifecycle); err != nil {
+			panic(fmt.Sprintf("faas: %v", err))
+		}
 	}
 	return &Platform{cfg: cfg}
 }
@@ -106,8 +116,12 @@ type Result struct {
 	Makespan   time.Duration
 	Engine     *cpusim.Engine
 	ColdStarts int
+	// Lifecycle holds the container warm-pool counters (warm-hit ratio,
+	// cold latency, evictions) when Config.Lifecycle was set; zero
+	// otherwise.
+	Lifecycle lifecycle.Stats
 	// MeanDispatchOverhead is the realized mean request-path overhead
-	// (excluding response).
+	// (excluding response and cold starts).
 	MeanDispatchOverhead time.Duration
 }
 
@@ -131,25 +145,21 @@ func (p *Platform) Run(w *workload.Workload, s cpusim.Scheduler) Result {
 // RunTrace executes an invocation stream on the platform under the given
 // scheduler. The stream's Arrival fields are interpreted as HTTP
 // invocation times; the engine sees them shifted by the sampled dispatch
-// overheads, and afterwards the timestamps are restored so
-// Turnaround()/RTE() are end-to-end.
+// overheads (plus any container cold start when Lifecycle is set), and
+// afterwards the timestamps are restored so Turnaround()/RTE() are
+// end-to-end.
 func (p *Platform) RunTrace(src trace.Source, s cpusim.Scheduler) Result {
 	tasks := trace.Collect(src)
 	r := rng.New(p.cfg.Seed ^ 0xfaa5)
 	pre := make([]time.Duration, len(tasks))
 	post := make([]time.Duration, len(tasks))
 	var overheadSum time.Duration
-	cold := 0
 	for i, t := range tasks {
 		d := sample(p.cfg.Overheads.Gateway, r) +
 			sample(p.cfg.Overheads.Worker, r) +
 			sample(p.cfg.Overheads.Sandbox, r)
 		if p.cfg.SFSPort {
 			d += sample(p.cfg.Overheads.UDPNotify, r)
-		}
-		if p.cfg.ColdStart.Fraction > 0 && r.Float64() < p.cfg.ColdStart.Fraction {
-			d += sample(p.cfg.ColdStart.Penalty, r)
-			cold++
 		}
 		pre[i] = d
 		post[i] = sample(p.cfg.Overheads.Response, r)
@@ -162,11 +172,44 @@ func (p *Platform) RunTrace(src trace.Source, s cpusim.Scheduler) Result {
 		CtxSwitchCost: p.cfg.CtxSwitchCost,
 		Deadline:      1000 * time.Hour,
 	}, s)
-	eng.Submit(tasks...)
-	makespan := eng.Run()
+	var makespan time.Duration
+	var lstats lifecycle.Stats
+	if p.cfg.Lifecycle == nil {
+		eng.Submit(tasks...)
+		makespan = eng.Run()
+	} else {
+		// The container is requested when the worker dispatches the
+		// invocation — after the platform overheads — so the lifecycle
+		// must see arrivals in perturbed order, which the per-hop
+		// sampling can locally scramble.
+		cfg := *p.cfg.Lifecycle
+		if cfg.Seed == 0 {
+			cfg.Seed = p.cfg.Seed
+		}
+		mgr, err := lifecycle.New(cfg)
+		if err != nil {
+			panic(err) // unreachable: New validated the lifecycle config
+		}
+		ordered := append([]*task.Task(nil), tasks...)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+		i := 0
+		perturbed := trace.New(src.String(), func() (*task.Task, bool) {
+			if i >= len(ordered) {
+				return nil, false
+			}
+			t := ordered[i]
+			i++
+			return t, true
+		})
+		if makespan, err = lifecycle.Run(perturbed, mgr, eng); err != nil {
+			panic(err) // perturbed cannot fail: the slice was collected
+		}
+		lstats = mgr.Stats()
+	}
 
 	// Restore end-to-end timestamps: arrival back to HTTP invocation
-	// time, finish extended by the response path.
+	// time, finish extended by the response path. (lifecycle.Run already
+	// unwound its own cold-start shift.)
 	for i, t := range tasks {
 		t.Arrival -= pre[i]
 		if t.Finish >= 0 {
@@ -177,7 +220,8 @@ func (p *Platform) RunTrace(src trace.Source, s cpusim.Scheduler) Result {
 		Run:        metrics.Run{Scheduler: s.Name(), Tasks: tasks},
 		Makespan:   makespan,
 		Engine:     eng,
-		ColdStarts: cold,
+		ColdStarts: lstats.ColdStarts,
+		Lifecycle:  lstats,
 	}
 	if len(tasks) > 0 {
 		res.MeanDispatchOverhead = overheadSum / time.Duration(len(tasks))

@@ -6,6 +6,7 @@ import (
 
 	"github.com/serverless-sched/sfs/internal/core"
 	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/sched"
 	"github.com/serverless-sched/sfs/internal/workload"
@@ -108,20 +109,60 @@ func TestSFSPortStillWinsUnderPlatform(t *testing.T) {
 func TestColdStartInjection(t *testing.T) {
 	const cores = 2
 	w := smallWorkload(cores, 5)
-	p := New(Config{
-		Cores:     cores,
-		ColdStart: ColdStartModel{Fraction: 0.5, Penalty: dist.Constant{Value: ms(100)}},
-		Seed:      6,
-	})
-	res := p.Run(w, sched.NewFIFO())
-	frac := float64(res.ColdStarts) / float64(len(w.Tasks))
-	if frac < 0.4 || frac > 0.6 {
-		t.Fatalf("cold-start fraction %.2f, want ~0.5", frac)
+	lc := func(p lifecycle.Policy) *lifecycle.Config {
+		return &lifecycle.Config{
+			Policy:      p,
+			ImagePull:   dist.Constant{Value: ms(80)},
+			SandboxBoot: dist.Constant{Value: ms(20)},
+			Seed:        6,
+		}
 	}
-	// Cold starts must add at least 100ms to the mean dispatch overhead
-	// share of affected requests.
-	if res.MeanDispatchOverhead < ms(40) {
-		t.Fatalf("mean dispatch overhead %v too small for injected cold starts", res.MeanDispatchOverhead)
+
+	// NONE: every invocation pays the constant 100ms cold start.
+	none := New(Config{Cores: cores, Lifecycle: lc(lifecycle.NewNone()), Seed: 6}).Run(w, sched.NewFIFO())
+	if none.ColdStarts != len(w.Tasks) {
+		t.Fatalf("NONE cold starts %d, want every one of %d", none.ColdStarts, len(w.Tasks))
+	}
+	if r := none.Lifecycle.WarmHitRatio(); r != 0 {
+		t.Fatalf("NONE warm-hit ratio %.2f, want 0", r)
+	}
+
+	// A generous TTL turns most of those into warm hits and lowers mean
+	// turnaround accordingly.
+	ttl := New(Config{Cores: cores, Lifecycle: lc(lifecycle.NewFixedTTL(time.Minute)), Seed: 6}).Run(w, sched.NewFIFO())
+	if ttl.Lifecycle.WarmHitRatio() < 0.5 {
+		t.Fatalf("TTL warm-hit ratio %.2f, want most invocations warm", ttl.Lifecycle.WarmHitRatio())
+	}
+	if ttl.Run.MeanTurnaround() >= none.Run.MeanTurnaround() {
+		t.Fatalf("warm pools should cut mean turnaround: TTL %v vs NONE %v",
+			ttl.Run.MeanTurnaround(), none.Run.MeanTurnaround())
+	}
+	// The cold-start latency is on the critical path, not in the
+	// dispatch-overhead accounting.
+	if none.MeanDispatchOverhead != 0 {
+		t.Fatalf("cold starts leaked into dispatch overhead: %v", none.MeanDispatchOverhead)
+	}
+}
+
+func TestColdStartDeterminismWithLifecycle(t *testing.T) {
+	const cores = 2
+	w := smallWorkload(cores, 9)
+	run := func() Result {
+		return New(Config{
+			Cores:     cores,
+			Overheads: DefaultOverheads(),
+			Lifecycle: &lifecycle.Config{Policy: lifecycle.NewHistogram(0), MemoryMB: 2048, Seed: 9},
+			Seed:      9,
+		}).Run(w, sched.NewCFS(sched.CFSConfig{}))
+	}
+	r1, r2 := run(), run()
+	if r1.Lifecycle != r2.Lifecycle {
+		t.Fatalf("lifecycle stats diverged:\n%+v\n%+v", r1.Lifecycle, r2.Lifecycle)
+	}
+	for i := range r1.Run.Tasks {
+		if r1.Run.Tasks[i].Finish != r2.Run.Tasks[i].Finish {
+			t.Fatalf("same-seed lifecycle runs diverge at task %d", i)
+		}
 	}
 }
 

@@ -1,0 +1,505 @@
+// Package lifecycle models container lifecycles on a serverless host:
+// per-application warm pools, a configurable memory capacity, and
+// pluggable keep-alive/eviction policies — the state the paper's
+// evaluation deliberately removes (§IX disables auto-scaling and
+// pre-warms every container) and that real serverless schedulers live
+// and die by.
+//
+// The central type is Manager, one per simulated host. An invocation
+// Acquires a container at its arrival instant: a warm, idle container
+// for the application serves it immediately (a warm hit), while a miss
+// creates a fresh container and pays a sampled cold-start latency
+// (image pull + sandbox boot, both dist.Distribution) that the caller
+// injects into the simulation timeline before the task becomes
+// runnable. When the invocation finishes, Release returns the
+// container to the warm pool under the Policy's keep-alive decision:
+// discard immediately (NONE), stay warm for a window (TTL, HIST), or
+// stay until memory pressure evicts it (LRU). History-driven policies
+// (HIST) may additionally schedule a pre-warmed container just before
+// the application's predicted next arrival.
+//
+// Determinism: a Manager is a deterministic function of its Config and
+// the sequence of Acquire/Release/AdvanceTo calls, which drivers must
+// issue in non-decreasing virtual-time order (the discrete-event loops
+// in Run, internal/faas, and internal/cluster do). Internal expiry and
+// pre-warm events live on a (time, sequence)-ordered queue processed
+// lazily as time advances, so same-seed replays are byte-identical.
+// Cold-start latencies come from one seeded RNG stream; no wall clock,
+// no global randomness.
+package lifecycle
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/simtime"
+)
+
+// DefaultContainerMB is the per-container memory footprint assumed when
+// Config.ContainerMB is zero: the 128 MB minimum allocation of the
+// major FaaS providers.
+const DefaultContainerMB = 128
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Policy is the keep-alive/eviction policy; nil defaults to a
+	// FIXED-TTL policy with DefaultTTL.
+	Policy Policy
+	// MemoryMB is the host's container memory capacity; 0 means
+	// unlimited. When a cold start would exceed it, idle containers are
+	// evicted least-recently-used first. Running containers are never
+	// evicted: if the capacity cannot be met from idle containers alone
+	// the host overcommits and the excess is recorded in Stats.
+	MemoryMB int
+	// ContainerMB is the per-container footprint (default
+	// DefaultContainerMB).
+	ContainerMB int
+	// ImagePull samples the image-pull share of a cold start; nil
+	// defaults to DefaultImagePull. Pulls are the dominant, highly
+	// variable cost (container registries, layer caches).
+	ImagePull dist.Distribution
+	// SandboxBoot samples the sandbox create+boot share of a cold
+	// start; nil defaults to DefaultSandboxBoot.
+	SandboxBoot dist.Distribution
+	// Seed drives the cold-start latency stream.
+	Seed uint64
+}
+
+// DefaultImagePull returns the default image-pull latency distribution:
+// a lognormal centred near 300 ms with a heavy right tail, the shape
+// registry pulls exhibit when layers miss the node cache.
+func DefaultImagePull() dist.Distribution {
+	return dist.Lognormal{Mu: 19.52, Sigma: 0.5} // median ~300ms
+}
+
+// DefaultSandboxBoot returns the default sandbox boot latency
+// distribution: 50–150 ms uniform, the order of a container runtime
+// create+start on a warm node.
+func DefaultSandboxBoot() dist.Distribution {
+	return dist.Uniform{Lo: 50 * time.Millisecond, Hi: 150 * time.Millisecond}
+}
+
+// Container is one sandbox instance for an application. The zero value
+// is never used; containers are created by Manager.Acquire (cold
+// starts) and by pre-warm events.
+type Container struct {
+	// App is the application the container serves.
+	App string
+	// Prewarmed marks containers created by a policy pre-warm rather
+	// than an on-demand cold start.
+	Prewarmed bool
+
+	mb        int
+	busy      bool
+	idleSince simtime.Time // when the container last went idle
+	lastUsed  simtime.Time // last Acquire or creation instant
+	expires   *event       // pending expiry while idle
+	dead      bool
+}
+
+// Stats are a Manager's cumulative counters. The embedded
+// metrics.ColdStartStats carries the reporting trio — Invocations
+// (Acquire calls), ColdStarts (on-demand container creations), and
+// ColdLatency (summed sampled latency) — from which warm hits, the
+// warm-hit ratio, and table columns derive.
+type Stats struct {
+	metrics.ColdStartStats
+	// PrewarmHits is the subset of warm hits served by a policy
+	// pre-warmed container's first use.
+	PrewarmHits int
+	// Expirations counts idle containers aged out by their keep-alive
+	// window; Evictions counts idle containers removed early under
+	// memory pressure; Discards counts containers a policy declined to
+	// keep at all (KeepWarm == 0).
+	Expirations int
+	Evictions   int
+	Discards    int
+	// Prewarms counts pre-warmed containers materialized; PrewarmSkips
+	// counts pre-warms dropped because they did not fit in memory.
+	Prewarms     int
+	PrewarmSkips int
+	// MemPeakMB is the high-water mark of container memory, including
+	// any overcommit by running containers.
+	MemPeakMB int
+	// OvercommitMB is the high-water mark of memory above capacity
+	// (always zero when MemoryMB is 0 or eviction kept up).
+	OvercommitMB int
+}
+
+// Summary renders the one-line cold-start report the CLIs print,
+// labeled with the policy's name.
+func (s Stats) Summary(policy string) string {
+	return fmt.Sprintf("keep-alive %s: %d cold starts (%.1f%% warm hits), mean cold latency %s, %d evictions, %d expirations, %d pre-warms, peak memory %d MB",
+		strings.ToUpper(policy), s.ColdStarts, 100*s.WarmHitRatio(),
+		metrics.FormatDuration(s.MeanColdLatency()), s.Evictions, s.Expirations, s.Prewarms, s.MemPeakMB)
+}
+
+// Add accumulates other into s (merging per-host stats cluster-wide).
+func (s *Stats) Add(other Stats) {
+	s.Invocations += other.Invocations
+	s.PrewarmHits += other.PrewarmHits
+	s.ColdStarts += other.ColdStarts
+	s.ColdLatency += other.ColdLatency
+	s.Expirations += other.Expirations
+	s.Evictions += other.Evictions
+	s.Discards += other.Discards
+	s.Prewarms += other.Prewarms
+	s.PrewarmSkips += other.PrewarmSkips
+	s.MemPeakMB += other.MemPeakMB
+	s.OvercommitMB += other.OvercommitMB
+}
+
+// eventKind distinguishes the Manager's internal timeline events.
+type eventKind int
+
+const (
+	evExpire  eventKind = iota // an idle container's keep-alive window ends
+	evPrewarm                  // a policy-scheduled pre-warm materializes
+)
+
+// event is one entry of the Manager's lazy (time, sequence)-ordered
+// queue. Expiry events are invalidated by clearing c.expires when the
+// container is reused; pre-warm events carry the app and idle window.
+type event struct {
+	at   simtime.Time
+	seq  uint64
+	kind eventKind
+	c    *Container    // evExpire target
+	app  string        // evPrewarm application
+	keep time.Duration // evPrewarm idle window once materialized
+	dead bool
+}
+
+// eventHeap is a min-heap by (at, seq) so same-instant events fire in
+// scheduling order, keeping replays deterministic.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Manager is the container lifecycle state of one host. It is not safe
+// for concurrent use; simulations are single-threaded by design.
+type Manager struct {
+	cfg    Config
+	policy Policy
+	r      *rng.RNG
+
+	idle     map[string][]*Container // per-app idle pool, most recent last
+	pending  map[string]*event       // at most one scheduled pre-warm per app
+	events   eventHeap
+	seq      uint64
+	now      simtime.Time
+	usedMB   int
+	nWarm    int // total idle containers across apps
+	lruClock int
+	stats    Stats
+}
+
+// New builds a Manager. Negative capacities are rejected; zero values
+// take the documented defaults.
+func New(cfg Config) (*Manager, error) {
+	if cfg.MemoryMB < 0 {
+		return nil, fmt.Errorf("lifecycle: negative memory capacity %d MB", cfg.MemoryMB)
+	}
+	if cfg.ContainerMB < 0 {
+		return nil, fmt.Errorf("lifecycle: negative container footprint %d MB", cfg.ContainerMB)
+	}
+	if cfg.ContainerMB == 0 {
+		cfg.ContainerMB = DefaultContainerMB
+	}
+	if cfg.MemoryMB > 0 && cfg.MemoryMB < cfg.ContainerMB {
+		return nil, fmt.Errorf("lifecycle: capacity %d MB below one container (%d MB)", cfg.MemoryMB, cfg.ContainerMB)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewFixedTTL(DefaultTTL)
+	}
+	if cfg.ImagePull == nil {
+		cfg.ImagePull = DefaultImagePull()
+	}
+	if cfg.SandboxBoot == nil {
+		cfg.SandboxBoot = DefaultSandboxBoot()
+	}
+	return &Manager{
+		cfg:     cfg,
+		policy:  cfg.Policy,
+		r:       rng.New(cfg.Seed ^ 0xc01d),
+		idle:    map[string][]*Container{},
+		pending: map[string]*event{},
+	}, nil
+}
+
+// NewByName builds a manager running the named keep-alive policy with
+// the given memory budget and fixed-TTL/fallback window — the
+// construction path the CLIs share behind their
+// -keepalive/-memory/-keepalive-ttl flags.
+func NewByName(policy string, memoryMB int, ttl time.Duration, seed uint64) (*Manager, error) {
+	p, err := NewPolicy(policy, PolicyConfig{TTL: ttl, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{Policy: p, MemoryMB: memoryMB, Seed: seed})
+}
+
+// Policy returns the manager's keep-alive policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// Stats returns a snapshot of the cumulative counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Now returns the latest virtual time the manager has observed.
+func (m *Manager) Now() simtime.Time { return m.now }
+
+// AdvanceTo processes all expiry and pre-warm events up to now in
+// timeline order. Acquire and Release advance implicitly; external
+// drivers (the cluster loop, a dispatcher about to read WarmIdle) call
+// it so policy state is current at decision instants.
+func (m *Manager) AdvanceTo(now simtime.Time) {
+	if now > m.now {
+		m.now = now
+	}
+	for len(m.events) > 0 && m.events[0].at <= now {
+		e := heap.Pop(&m.events).(*event)
+		if e.dead {
+			continue
+		}
+		switch e.kind {
+		case evExpire:
+			c := e.c
+			if c.dead || c.busy || c.expires != e {
+				continue
+			}
+			c.expires = nil
+			m.removeIdle(c)
+			m.destroy(c)
+			m.stats.Expirations++
+		case evPrewarm:
+			if m.pending[e.app] == e {
+				delete(m.pending, e.app)
+			}
+			m.materializePrewarm(e)
+		}
+	}
+}
+
+// Acquire requests a container for app at virtual time now. On a warm
+// hit it returns (0, container); on a miss it creates the container and
+// returns the sampled cold-start latency the caller must inject before
+// the invocation becomes runnable. The container stays busy until
+// Release.
+func (m *Manager) Acquire(now simtime.Time, app string) (time.Duration, *Container) {
+	m.AdvanceTo(now)
+	m.stats.Invocations++
+	m.policy.OnArrival(now, app)
+
+	if pool := m.idle[app]; len(pool) > 0 {
+		// Reuse the most recently released container (LIFO keeps the
+		// hottest sandbox hot and lets the colder end age out).
+		c := pool[len(pool)-1]
+		m.idle[app] = pool[:len(pool)-1]
+		m.nWarm--
+		m.cancelExpiry(c)
+		c.busy = true
+		c.lastUsed = now
+		if c.Prewarmed {
+			m.stats.PrewarmHits++
+			c.Prewarmed = false
+		}
+		return 0, c
+	}
+
+	lat := m.sampleColdStart()
+	c := &Container{App: app, mb: m.cfg.ContainerMB, busy: true, lastUsed: now}
+	m.reserve(c.mb)
+	m.stats.ColdStarts++
+	m.stats.ColdLatency += lat
+	return lat, c
+}
+
+// Release returns a container at its invocation's finish time. The
+// policy decides whether it stays warm and whether a pre-warm should be
+// scheduled for the application's predicted next arrival.
+func (m *Manager) Release(now simtime.Time, c *Container) {
+	if c == nil {
+		return
+	}
+	if !c.busy || c.dead {
+		panic("lifecycle: Release of a container that is not busy")
+	}
+	m.AdvanceTo(now)
+	c.busy = false
+	c.idleSince = now
+
+	d := m.policy.OnRelease(now, c.App)
+	if d.KeepWarm == 0 {
+		m.destroy(c)
+		m.stats.Discards++
+	} else {
+		m.idle[c.App] = append(m.idle[c.App], c)
+		m.nWarm++
+		m.scheduleExpiry(now, c, d.KeepWarm)
+	}
+	if d.PrewarmIn > 0 {
+		m.schedulePrewarm(now, c.App, d)
+	}
+}
+
+// WarmIdle returns the number of idle warm containers held for app as
+// of the last observed virtual time (callers that can see a later clock
+// should AdvanceTo first). Affinity-aware dispatchers read it.
+func (m *Manager) WarmIdle(app string) int { return len(m.idle[app]) }
+
+// WarmTotal returns the total idle warm containers across applications.
+func (m *Manager) WarmTotal() int { return m.nWarm }
+
+// UsedMB returns current container memory, busy plus idle.
+func (m *Manager) UsedMB() int { return m.usedMB }
+
+// ---- internals ----
+
+// sampleColdStart draws one cold-start latency: image pull plus sandbox
+// boot, each clamped non-negative.
+func (m *Manager) sampleColdStart() time.Duration {
+	lat := m.cfg.ImagePull.Sample(m.r) + m.cfg.SandboxBoot.Sample(m.r)
+	if lat < 0 {
+		lat = 0
+	}
+	return lat
+}
+
+// reserve charges mb of container memory for an on-demand cold start,
+// evicting idle containers least-recently-used first when over
+// capacity. Running containers cannot be evicted, so a host whose
+// capacity is consumed by running functions overcommits and records
+// the excess.
+func (m *Manager) reserve(mb int) {
+	cap := m.cfg.MemoryMB
+	if cap > 0 {
+		for m.usedMB+mb > cap && m.evictLRU() {
+		}
+		if over := m.usedMB + mb - cap; over > m.stats.OvercommitMB {
+			m.stats.OvercommitMB = over
+		}
+	}
+	m.usedMB += mb
+	if m.usedMB > m.stats.MemPeakMB {
+		m.stats.MemPeakMB = m.usedMB
+	}
+}
+
+// evictLRU removes the idle container with the oldest idleSince
+// (ties by app name, then pool position, for determinism). It returns
+// false when no idle container remains.
+func (m *Manager) evictLRU() bool {
+	var victim *Container
+	victimApp := ""
+	for app, pool := range m.idle {
+		for _, c := range pool {
+			if victim == nil || c.idleSince < victim.idleSince ||
+				(c.idleSince == victim.idleSince && app < victimApp) {
+				victim, victimApp = c, app
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	m.removeIdle(victim)
+	m.cancelExpiry(victim)
+	m.destroy(victim)
+	m.stats.Evictions++
+	return true
+}
+
+// removeIdle deletes c from its app pool, preserving order.
+func (m *Manager) removeIdle(c *Container) {
+	pool := m.idle[c.App]
+	for i, o := range pool {
+		if o == c {
+			m.idle[c.App] = append(pool[:i], pool[i+1:]...)
+			m.nWarm--
+			return
+		}
+	}
+	panic("lifecycle: idle container missing from its pool")
+}
+
+// destroy frees a container's memory and marks it unusable.
+func (m *Manager) destroy(c *Container) {
+	m.usedMB -= c.mb
+	c.dead = true
+}
+
+// scheduleExpiry arms c's keep-alive window. KeepForever installs no
+// event: the container stays until evicted.
+func (m *Manager) scheduleExpiry(now simtime.Time, c *Container, keep time.Duration) {
+	if keep == KeepForever {
+		c.expires = nil
+		return
+	}
+	e := &event{at: now + keep, seq: m.seq, kind: evExpire, c: c}
+	m.seq++
+	c.expires = e
+	heap.Push(&m.events, e)
+}
+
+// cancelExpiry invalidates a pending expiry when a container is reused
+// or evicted early.
+func (m *Manager) cancelExpiry(c *Container) {
+	if c.expires != nil {
+		c.expires.dead = true
+		c.expires = nil
+	}
+}
+
+// schedulePrewarm arms at most one pending pre-warm per application.
+func (m *Manager) schedulePrewarm(now simtime.Time, app string, d Decision) {
+	if m.pending[app] != nil {
+		return
+	}
+	e := &event{at: now + d.PrewarmIn, seq: m.seq, kind: evPrewarm, app: app, keep: d.PrewarmFor}
+	m.seq++
+	m.pending[app] = e
+	heap.Push(&m.events, e)
+}
+
+// materializePrewarm creates the pre-warmed idle container if it fits
+// without evicting anyone (pre-warms are best-effort).
+func (m *Manager) materializePrewarm(e *event) {
+	mb := m.cfg.ContainerMB
+	if cap := m.cfg.MemoryMB; cap > 0 && m.usedMB+mb > cap {
+		m.stats.PrewarmSkips++
+		return
+	}
+	m.usedMB += mb
+	if m.usedMB > m.stats.MemPeakMB {
+		m.stats.MemPeakMB = m.usedMB
+	}
+	c := &Container{App: e.app, Prewarmed: true, mb: mb, idleSince: e.at, lastUsed: e.at}
+	m.idle[e.app] = append(m.idle[e.app], c)
+	m.nWarm++
+	m.stats.Prewarms++
+	keep := e.keep
+	if keep == 0 {
+		keep = DefaultTTL
+	}
+	m.scheduleExpiry(e.at, c, keep)
+}

@@ -1,0 +1,286 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/simtime"
+)
+
+// ms is a test shorthand.
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// constMgr builds a manager with constant cold-start latency so tests
+// can assert exact delays.
+func constMgr(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.ImagePull == nil {
+		cfg.ImagePull = dist.Constant{Value: ms(200)}
+	}
+	if cfg.SandboxBoot == nil {
+		cfg.SandboxBoot = dist.Constant{Value: ms(50)}
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestWarmReuse: a released container serves the next same-app arrival
+// with zero latency; a different app still pays a cold start.
+func TestWarmReuse(t *testing.T) {
+	m := constMgr(t, Config{Policy: NewFixedTTL(time.Minute)})
+	d, c := m.Acquire(0, "fib")
+	if d != ms(250) {
+		t.Fatalf("first acquire delay %v, want 250ms", d)
+	}
+	m.Release(ms(10), c)
+	if got := m.WarmIdle("fib"); got != 1 {
+		t.Fatalf("warm idle %d, want 1", got)
+	}
+	d, c2 := m.Acquire(ms(20), "fib")
+	if d != 0 {
+		t.Fatalf("warm acquire delay %v, want 0", d)
+	}
+	if c2 != c {
+		t.Fatal("warm hit did not reuse the released container")
+	}
+	if d, _ := m.Acquire(ms(30), "md"); d != ms(250) {
+		t.Fatalf("other-app acquire delay %v, want cold 250ms", d)
+	}
+	st := m.Stats()
+	if st.Invocations != 3 || st.WarmHits() != 1 || st.ColdStarts != 2 {
+		t.Fatalf("stats = %+v, want 3 invocations, 1 warm, 2 cold", st)
+	}
+}
+
+// TestBusyContainerNotShared: while a container is busy, a concurrent
+// same-app arrival must cold-start its own.
+func TestBusyContainerNotShared(t *testing.T) {
+	m := constMgr(t, Config{Policy: NewFixedTTL(time.Minute)})
+	_, c1 := m.Acquire(0, "fib")
+	d, c2 := m.Acquire(ms(1), "fib")
+	if d == 0 || c1 == c2 {
+		t.Fatal("busy container was shared")
+	}
+}
+
+// TestTTLExpiry: an idle container ages out after its keep-alive
+// window, and a later arrival is cold again.
+func TestTTLExpiry(t *testing.T) {
+	m := constMgr(t, Config{Policy: NewFixedTTL(ms(100))})
+	_, c := m.Acquire(0, "fib")
+	m.Release(ms(10), c)
+	// Still warm just inside the window.
+	if d, c2 := m.Acquire(ms(109), "fib"); d != 0 {
+		t.Fatalf("inside TTL: delay %v, want warm", d)
+	} else {
+		m.Release(ms(120), c2)
+	}
+	// Expired after the window.
+	if d, _ := m.Acquire(ms(221), "fib"); d == 0 {
+		t.Fatal("expired container served a warm hit")
+	}
+	if st := m.Stats(); st.Expirations != 1 {
+		t.Fatalf("expirations %d, want 1", st.Expirations)
+	}
+}
+
+// TestNoneAlwaysCold: the NONE policy discards at release; every
+// invocation cold-starts.
+func TestNoneAlwaysCold(t *testing.T) {
+	m := constMgr(t, Config{Policy: NewNone()})
+	at := simtime.Time(0)
+	for i := 0; i < 5; i++ {
+		d, c := m.Acquire(at, "fib")
+		if d == 0 {
+			t.Fatalf("invocation %d warm under NONE", i)
+		}
+		m.Release(at+ms(5), c)
+		at += ms(100)
+	}
+	st := m.Stats()
+	if st.WarmHits() != 0 || st.ColdStarts != 5 || st.Discards != 5 {
+		t.Fatalf("stats = %+v, want 0 warm, 5 cold, 5 discards", st)
+	}
+}
+
+// TestLRUEvictionUnderPressure: with capacity for two containers, a
+// third app's cold start evicts the least-recently-used idle one.
+func TestLRUEvictionUnderPressure(t *testing.T) {
+	m := constMgr(t, Config{Policy: NewLRU(), MemoryMB: 256, ContainerMB: 128})
+	_, a := m.Acquire(0, "a")
+	m.Release(ms(10), a) // idle since 10ms
+	_, b := m.Acquire(ms(20), "b")
+	m.Release(ms(30), b) // idle since 30ms
+	if m.UsedMB() != 256 {
+		t.Fatalf("used %d MB, want 256", m.UsedMB())
+	}
+	// Third app: must evict "a" (older idle), keep "b".
+	if d, _ := m.Acquire(ms(40), "c"); d == 0 {
+		t.Fatal("app c should cold start")
+	}
+	if m.WarmIdle("a") != 0 || m.WarmIdle("b") != 1 {
+		t.Fatalf("warm pools a=%d b=%d, want LRU eviction of a", m.WarmIdle("a"), m.WarmIdle("b"))
+	}
+	if st := m.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+	if m.UsedMB() != 256 {
+		t.Fatalf("used %d MB after eviction, want 256", m.UsedMB())
+	}
+}
+
+// TestOvercommitWhenAllBusy: running containers are never evicted; a
+// cold start beyond capacity overcommits and records the excess.
+func TestOvercommitWhenAllBusy(t *testing.T) {
+	m := constMgr(t, Config{Policy: NewLRU(), MemoryMB: 128, ContainerMB: 128})
+	m.Acquire(0, "a")
+	m.Acquire(ms(1), "b") // no idle container to evict
+	st := m.Stats()
+	if m.UsedMB() != 256 || st.OvercommitMB != 128 {
+		t.Fatalf("used %d MB, overcommit %d MB; want 256/128", m.UsedMB(), st.OvercommitMB)
+	}
+}
+
+// TestHistogramKeepsPeriodicAppWarm: after histMinSamples arrivals with
+// a stable period, HIST must hold the container across gaps a short
+// fixed TTL would miss.
+func TestHistogramKeepsPeriodicAppWarm(t *testing.T) {
+	period := 30 * time.Second
+	runPolicy := func(p Policy) Stats {
+		m := constMgr(t, Config{Policy: p})
+		at := simtime.Time(0)
+		for i := 0; i < 20; i++ {
+			_, c := m.Acquire(at, "periodic")
+			m.Release(at+ms(50), c)
+			at += period
+		}
+		return m.Stats()
+	}
+	hist := runPolicy(NewHistogram(time.Second))
+	ttl := runPolicy(NewFixedTTL(time.Second))
+	if ttl.WarmHits() != 0 {
+		t.Fatalf("1s TTL should miss 30s-period arrivals, got %d warm hits", ttl.WarmHits())
+	}
+	// HIST needs histMinSamples IATs to learn; afterwards every arrival
+	// must land warm (kept or pre-warmed).
+	if hist.WarmHits() < 20-histMinSamples-2 {
+		t.Fatalf("HIST warm hits %d, want >= %d (stats %+v)", hist.WarmHits(), 20-histMinSamples-2, hist)
+	}
+	if hist.Prewarms == 0 {
+		t.Fatal("HIST should pre-warm for a 30s-period app")
+	}
+}
+
+// TestHistogramLongGapPrewarm: for an app whose period exceeds the
+// keep-alive cap (3 h vs the 1 h histKeepCap), the pre-warm instant
+// must still land before the arrival with a usable resident window —
+// the regression where PrewarmFor went negative and pre-warmed
+// containers expired the moment they materialized.
+func TestHistogramLongGapPrewarm(t *testing.T) {
+	m := constMgr(t, Config{Policy: NewHistogram(time.Second)})
+	period := 3 * time.Hour
+	at := simtime.Time(0)
+	for i := 0; i < 10; i++ {
+		_, c := m.Acquire(at, "cron3h")
+		m.Release(at+ms(50), c)
+		at += period
+	}
+	st := m.Stats()
+	if st.Prewarms == 0 {
+		t.Fatalf("no pre-warms materialized for a 3h-period app: %+v", st)
+	}
+	if st.PrewarmHits == 0 {
+		t.Fatalf("pre-warmed containers never served an arrival: %+v", st)
+	}
+	if st.WarmHits() < 10-histMinSamples-2 {
+		t.Fatalf("warm hits %d, want >= %d (stats %+v)", st.WarmHits(), 10-histMinSamples-2, st)
+	}
+}
+
+// TestPrewarmDedupe: only one pre-warm may be pending per app, however
+// many containers are released.
+func TestPrewarmDedupe(t *testing.T) {
+	p := NewHistogram(time.Second)
+	m := constMgr(t, Config{Policy: p})
+	// Teach the histogram a 30s period.
+	at := simtime.Time(0)
+	for i := 0; i < histMinSamples+1; i++ {
+		_, c := m.Acquire(at, "x")
+		m.Release(at+ms(10), c)
+		at += 30 * time.Second
+	}
+	// Two concurrent containers released back to back must not schedule
+	// two pre-warms.
+	_, c1 := m.Acquire(at, "x")
+	_, c2 := m.Acquire(at+ms(1), "x")
+	m.Release(at+ms(20), c1)
+	m.Release(at+ms(21), c2)
+	if n := len(m.pending); n > 1 {
+		t.Fatalf("%d pending pre-warms for one app, want <= 1", n)
+	}
+}
+
+// TestDeterministicReplay: two managers with the same seed and the same
+// call sequence must report identical stats and sample identical
+// cold-start latencies.
+func TestDeterministicReplay(t *testing.T) {
+	mk := func() *Manager {
+		m, err := New(Config{Policy: NewHistogram(0), MemoryMB: 512, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	run := func(m *Manager) ([]time.Duration, Stats) {
+		var lats []time.Duration
+		apps := []string{"a", "b", "a", "c", "a", "b", "a", "a", "c", "b"}
+		var held []*Container
+		at := simtime.Time(0)
+		for i, app := range apps {
+			d, c := m.Acquire(at, app)
+			lats = append(lats, d)
+			held = append(held, c)
+			if i%2 == 1 {
+				m.Release(at+ms(30), held[i-1])
+				m.Release(at+ms(40), held[i])
+			}
+			at += ms(750)
+		}
+		return lats, m.Stats()
+	}
+	l1, s1 := run(mk())
+	l2, s2 := run(mk())
+	if s1 != s2 {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("latency %d diverged: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+}
+
+// TestNewValidation: nonsense configs must be rejected with a clear
+// error; defaults must fill zero values.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{MemoryMB: -1}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := New(Config{ContainerMB: -1}); err == nil {
+		t.Fatal("negative footprint accepted")
+	}
+	if _, err := New(Config{MemoryMB: 64}); err == nil {
+		t.Fatal("capacity below one container accepted")
+	}
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Policy().Name() != "TTL" {
+		t.Fatalf("default policy %s, want TTL", m.Policy().Name())
+	}
+}

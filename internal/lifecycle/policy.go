@@ -1,0 +1,307 @@
+package lifecycle
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+)
+
+// DefaultTTL is the fixed keep-alive window used when none is
+// configured: 10 minutes, the order of the major providers' published
+// idle timeouts.
+const DefaultTTL = 10 * time.Minute
+
+// KeepForever is the Decision.KeepWarm value that keeps a container
+// warm until memory pressure evicts it (the LRU policy's answer).
+const KeepForever time.Duration = -1
+
+// Decision is a policy's answer when a container goes idle.
+type Decision struct {
+	// KeepWarm is the idle keep-alive window from the release instant:
+	// 0 discards the container immediately, KeepForever keeps it until
+	// evicted, any positive duration expires it after that long idle.
+	KeepWarm time.Duration
+	// PrewarmIn, when positive, asks the manager to materialize a fresh
+	// warm container for the application that much later — just before
+	// a predicted next arrival. At most one pre-warm is pending per
+	// application; pre-warms are best-effort and never evict.
+	PrewarmIn time.Duration
+	// PrewarmFor is the pre-warmed container's own idle window
+	// (DefaultTTL when zero).
+	PrewarmFor time.Duration
+}
+
+// Policy decides container keep-alive and pre-warming. Implementations
+// must be deterministic functions of their construction parameters and
+// the observed call sequence — no wall clock, no global randomness —
+// and are driven in non-decreasing virtual-time order.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// OnArrival observes an invocation for app (history learning);
+	// called once per Acquire, warm or cold.
+	OnArrival(now simtime.Time, app string)
+	// OnRelease is consulted when app's container goes idle at now.
+	OnRelease(now simtime.Time, app string) Decision
+}
+
+// ---- NONE ----
+
+// nonePolicy discards every container at release: each invocation pays
+// a full cold start, the no-keep-alive baseline.
+type nonePolicy struct{}
+
+// NewNone returns the always-cold policy.
+func NewNone() Policy { return nonePolicy{} }
+
+func (nonePolicy) Name() string                            { return "NONE" }
+func (nonePolicy) OnArrival(simtime.Time, string)          {}
+func (nonePolicy) OnRelease(simtime.Time, string) Decision { return Decision{} }
+
+// ---- FIXED-TTL ----
+
+// fixedTTL keeps every released container warm for one fixed window —
+// the classic provider policy (e.g. a 10-minute idle timeout).
+type fixedTTL struct{ ttl time.Duration }
+
+// NewFixedTTL returns the fixed keep-alive policy (DefaultTTL when ttl
+// is non-positive).
+func NewFixedTTL(ttl time.Duration) Policy {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return fixedTTL{ttl: ttl}
+}
+
+func (p fixedTTL) Name() string                   { return "TTL" }
+func (p fixedTTL) OnArrival(simtime.Time, string) {}
+func (p fixedTTL) OnRelease(simtime.Time, string) Decision {
+	return Decision{KeepWarm: p.ttl}
+}
+
+// ---- LRU ----
+
+// lruPolicy never expires containers by time; the warm pool is bounded
+// only by the manager's memory capacity, which evicts the
+// least-recently-used idle container under pressure.
+type lruPolicy struct{}
+
+// NewLRU returns the eviction-only policy.
+func NewLRU() Policy { return lruPolicy{} }
+
+func (lruPolicy) Name() string                   { return "LRU" }
+func (lruPolicy) OnArrival(simtime.Time, string) {}
+func (lruPolicy) OnRelease(simtime.Time, string) Decision {
+	return Decision{KeepWarm: KeepForever}
+}
+
+// ---- HIST ----
+
+// histBuckets is the number of power-of-two millisecond buckets an app
+// histogram tracks: bucket i covers [2^i, 2^(i+1)) ms, bucket 0 covers
+// everything below 2 ms, and the last bucket is open-ended (beyond
+// ~12 days, far past any keep-alive horizon).
+const histBuckets = 30
+
+// appHist is one application's inter-arrival-time histogram.
+type appHist struct {
+	last    simtime.Time // previous arrival (-1 before the first)
+	count   int
+	buckets [histBuckets]int
+}
+
+// bucketOf maps an IAT to its histogram bucket.
+func bucketOf(iat time.Duration) int {
+	ms := iat / time.Millisecond
+	if ms < 2 {
+		return 0
+	}
+	b := bits.Len64(uint64(ms)) - 1
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// quantileBucket returns the index of the bucket containing the q-th
+// quantile of the observed IATs.
+func (h *appHist) quantileBucket(q float64) int {
+	want := int(q * float64(h.count))
+	if want >= h.count {
+		want = h.count - 1
+	}
+	seen := 0
+	for i, n := range h.buckets {
+		seen += n
+		if seen > want {
+			return i
+		}
+	}
+	return histBuckets - 1
+}
+
+// quantile returns the upper bound of the q-th quantile's bucket (a
+// conservative over-estimate, which is what a keep-alive window wants).
+func (h *appHist) quantile(q float64) time.Duration {
+	return time.Duration(1<<(uint(h.quantileBucket(q))+1)) * time.Millisecond
+}
+
+// quantileLo returns the lower bound of the q-th quantile's bucket (a
+// conservative under-estimate, which is what a pre-warm instant wants:
+// early never misses, late always does).
+func (h *appHist) quantileLo(q float64) time.Duration {
+	return time.Duration(1<<uint(h.quantileBucket(q))) * time.Millisecond
+}
+
+// histogram is the history-driven policy, modeled on the hybrid
+// histogram of Shahrad et al. ("Serverless in the Wild", ATC '20) that
+// Przybylski et al.'s data-driven scheduling builds on: it tracks each
+// application's inter-arrival times in a coarse log-scale histogram and
+// predicts the next arrival from the observed distribution.
+//
+// On release, the keep-alive window covers the IAT distribution's tail
+// (99th-percentile bucket with margin), so a warm container survives
+// until the next arrival whenever history repeats. When the
+// distribution's head is far away too — the application reliably stays
+// quiet for a long time — keeping the container warm the whole window
+// wastes memory: the policy instead discards it after a short grace
+// period and schedules a pre-warm just before the predicted earliest
+// arrival (the 5th-percentile bucket), covering the rest of the window
+// from there.
+type histogram struct {
+	fallback time.Duration
+	apps     map[string]*appHist
+}
+
+// histogram tuning constants.
+const (
+	histMinSamples  = 4                // arrivals before predictions engage
+	histKeepCap     = time.Hour        // keep-alive windows never exceed this
+	histPrewarmMin  = 10 * time.Second // only pre-warm for gaps this large
+	histGracePeriod = time.Second      // idle grace before a pre-warm gap
+	histMaxApps     = 4096             // histogram memory bound
+)
+
+// NewHistogram returns the history-driven policy. fallback is the
+// keep-alive window used before an application has enough history
+// (DefaultTTL when non-positive).
+func NewHistogram(fallback time.Duration) Policy {
+	if fallback <= 0 {
+		fallback = DefaultTTL
+	}
+	return &histogram{fallback: fallback, apps: map[string]*appHist{}}
+}
+
+func (p *histogram) Name() string { return "HIST" }
+
+func (p *histogram) OnArrival(now simtime.Time, app string) {
+	h := p.apps[app]
+	if h == nil {
+		if len(p.apps) >= histMaxApps {
+			return // beyond the bound, new apps fall back to the fixed TTL
+		}
+		h = &appHist{last: -1}
+		p.apps[app] = h
+	}
+	if h.last >= 0 {
+		h.buckets[bucketOf(now-h.last)]++
+		h.count++
+	}
+	h.last = now
+}
+
+func (p *histogram) OnRelease(now simtime.Time, app string) Decision {
+	h := p.apps[app]
+	if h == nil || h.count < histMinSamples {
+		return Decision{KeepWarm: p.fallback}
+	}
+	tail := h.quantile(0.99) + h.quantile(0.99)/4 // p99 bucket + 25% margin
+	if tail < p.fallback {
+		// The fallback window is a floor, never a cut: predictions only
+		// ever extend it (for apps whose gaps outlast it), so the
+		// histogram policy dominates the fixed-TTL policy it hybridizes.
+		// A per-app p99 says nothing about how many concurrent
+		// containers a burst needs, and trimming the window below the
+		// floor was observed to shrink burst pools early.
+		tail = p.fallback
+	}
+	if tail > histKeepCap {
+		tail = histKeepCap
+	}
+	head := h.quantileLo(0.05)
+	if head > histPrewarmMin {
+		// The app reliably stays quiet: release now, come back warm at
+		// the earliest predicted arrival. The p05 bucket's lower bound
+		// already undershoots the true 5th percentile by up to 2×, so
+		// it needs no further margin, and — unlike a keep-alive window,
+		// which holds memory the whole time — the pre-warm *instant*
+		// may lie beyond histKeepCap; only the resident window after it
+		// is capped.
+		prewarmIn := head
+		cover := h.quantile(0.99) + h.quantile(0.99)/4 - prewarmIn
+		if cover < histGracePeriod {
+			cover = histGracePeriod
+		}
+		if cover > histKeepCap {
+			cover = histKeepCap
+		}
+		return Decision{
+			KeepWarm:   histGracePeriod,
+			PrewarmIn:  prewarmIn,
+			PrewarmFor: cover,
+		}
+	}
+	return Decision{KeepWarm: tail}
+}
+
+// ---- registry ----
+
+// PolicyConfig carries the construction parameters a keep-alive policy
+// may need, mirroring cluster.FactoryConfig.
+type PolicyConfig struct {
+	// TTL is the fixed keep-alive window (TTL policy) and the
+	// insufficient-history fallback (HIST); DefaultTTL when zero.
+	TTL time.Duration
+	// Seed is reserved for randomized policies; the built-in four are
+	// deterministic and ignore it.
+	Seed uint64
+}
+
+// constructors maps canonical names to policy constructors, the third
+// name → constructor registry alongside internal/schedulers and
+// internal/cluster, so CLIs select keep-alive policies by flag without
+// the recognized set drifting between tools.
+var constructors = map[string]func(cfg PolicyConfig) Policy{
+	"NONE": func(PolicyConfig) Policy { return NewNone() },
+	"TTL":  func(cfg PolicyConfig) Policy { return NewFixedTTL(cfg.TTL) },
+	"LRU":  func(PolicyConfig) Policy { return NewLRU() },
+	"HIST": func(cfg PolicyConfig) Policy { return NewHistogram(cfg.TTL) },
+}
+
+// names in presentation order.
+var names = []string{"NONE", "TTL", "LRU", "HIST"}
+
+// PolicyNames returns the canonical keep-alive policy names NewPolicy
+// recognizes.
+func PolicyNames() []string { return append([]string(nil), names...) }
+
+// NewPolicy constructs a keep-alive policy by case-insensitive name.
+func NewPolicy(name string, cfg PolicyConfig) (Policy, error) {
+	mk, ok := constructors[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown keep-alive policy %q (want one of %s)", name, strings.Join(names, ", "))
+	}
+	return mk(cfg), nil
+}
+
+// sortedPolicyNames is used by tests to compare registries without
+// caring about presentation order.
+func sortedPolicyNames() []string {
+	out := PolicyNames()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,105 @@
+package lifecycle
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPolicyNamesInSync: PolicyNames() and the constructor map must
+// cover exactly the same policies, in both directions.
+func TestPolicyNamesInSync(t *testing.T) {
+	if len(names) != len(constructors) {
+		t.Fatalf("names has %d entries, constructors %d", len(names), len(constructors))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if _, ok := constructors[n]; !ok {
+			t.Errorf("name %s has no constructor", n)
+		}
+		if seen[n] {
+			t.Errorf("duplicate name %s", n)
+		}
+		seen[n] = true
+	}
+	for n := range constructors {
+		if !seen[n] {
+			t.Errorf("constructor %s missing from names", n)
+		}
+	}
+}
+
+// TestNewPolicyConstructsEvery: each registered name must build a
+// policy whose Name() round-trips to its registry key.
+func TestNewPolicyConstructsEvery(t *testing.T) {
+	for _, n := range PolicyNames() {
+		p, err := NewPolicy(n, PolicyConfig{TTL: time.Second})
+		if err != nil {
+			t.Errorf("NewPolicy(%q): %v", n, err)
+			continue
+		}
+		if p.Name() != n {
+			t.Errorf("policy %s reports name %s", n, p.Name())
+		}
+	}
+}
+
+// TestNewPolicyCaseInsensitive: lookups must ignore case.
+func TestNewPolicyCaseInsensitive(t *testing.T) {
+	for _, n := range PolicyNames() {
+		for _, variant := range []string{strings.ToLower(n), n[:1] + strings.ToLower(n[1:])} {
+			if _, err := NewPolicy(variant, PolicyConfig{}); err != nil {
+				t.Errorf("NewPolicy(%q): %v", variant, err)
+			}
+		}
+	}
+}
+
+// TestNewPolicyUnknown: unknown names must error, and the error must
+// list every valid choice so CLI users can self-correct.
+func TestNewPolicyUnknown(t *testing.T) {
+	_, err := NewPolicy("nope", PolicyConfig{})
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, n := range PolicyNames() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not mention %s", err, n)
+		}
+	}
+}
+
+// TestPolicyNamesIsACopy: mutating the returned slice must not corrupt
+// the registry.
+func TestPolicyNamesIsACopy(t *testing.T) {
+	a := PolicyNames()
+	a[0] = "CLOBBERED"
+	if PolicyNames()[0] == "CLOBBERED" {
+		t.Fatal("PolicyNames returns the registry's backing array")
+	}
+	if got := sortedPolicyNames(); len(got) != len(a) {
+		t.Fatalf("sorted names length %d, want %d", len(got), len(a))
+	}
+}
+
+// TestHistogramBuckets: the log-scale bucketing must be monotone and
+// the quantile a conservative upper bound.
+func TestHistogramBuckets(t *testing.T) {
+	if bucketOf(time.Millisecond) != 0 || bucketOf(3*time.Millisecond) != 1 {
+		t.Fatal("bucketOf lower buckets wrong")
+	}
+	if bucketOf(240*time.Hour) != histBuckets-1 {
+		t.Fatal("bucketOf must clamp to the open-ended last bucket")
+	}
+	h := &appHist{}
+	for _, iat := range []time.Duration{ms(100), ms(100), ms(100), ms(6000)} {
+		h.buckets[bucketOf(iat)]++
+		h.count++
+	}
+	if q := h.quantile(0.5); q < ms(100) || q > ms(256) {
+		t.Fatalf("median quantile %v outside the 100ms bucket's bound", q)
+	}
+	if q := h.quantile(0.99); q < ms(6000) {
+		t.Fatalf("p99 quantile %v must cover the 6s outlier", q)
+	}
+}

@@ -76,12 +76,18 @@ type Config struct {
 
 // Result describes one finished invocation.
 type Result struct {
-	ID         int
-	Name       string
-	Submitted  time.Time
-	Started    time.Time
-	Finished   time.Time
-	Mode       Mode
+	// ID is the submission sequence number; Name the function's label.
+	ID   int
+	Name string
+	// Submitted/Started/Finished are the wall-clock lifecycle stamps:
+	// enqueue, first execution, and return.
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// Mode is the scheduling level the invocation finished in.
+	Mode Mode
+	// QueueDelay is the time spent in the global queue before a worker
+	// first fetched the invocation.
 	QueueDelay time.Duration
 }
 
@@ -123,14 +129,23 @@ type invocation struct {
 	finished chan struct{}
 }
 
-// Stats are the scheduler's internal counters.
+// Stats are the scheduler's internal counters, updated live and safe
+// to read concurrently.
 type Stats struct {
-	Submitted      atomic.Int64
+	// Submitted counts every invocation handed to Submit.
+	Submitted atomic.Int64
+	// FilterComplete counts invocations that finished inside their
+	// FILTER slice; Demotions those that exhausted it and moved to the
+	// CFS level; OverloadRouted those sent straight to CFS by the
+	// transient-overload detector (§V-E).
 	FilterComplete atomic.Int64
 	Demotions      atomic.Int64
 	OverloadRouted atomic.Int64
-	Checkpoints    atomic.Int64
-	Yields         atomic.Int64
+	// Checkpoints counts cooperative Ctx.Checkpoint calls observed;
+	// Yields the subset that actually yielded the processor to pending
+	// FILTER work.
+	Checkpoints atomic.Int64
+	Yields      atomic.Int64
 }
 
 // Scheduler is the live SFS runtime. Create with New, then Start.

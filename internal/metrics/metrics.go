@@ -194,6 +194,52 @@ func CtxSwitchRatios(baseline, treatment Run) []float64 {
 	return out
 }
 
+// ColdStartStats summarizes a run's container cold-start behaviour:
+// how many invocations found a warm container, how many paid a cold
+// start, and the summed sampled cold-start latency. The lifecycle
+// layer produces these; the reporting tables render them through
+// ColdStartHeader and Columns.
+type ColdStartStats struct {
+	// Invocations is the total requests observed.
+	Invocations int
+	// ColdStarts is the number that created a container on demand.
+	ColdStarts int
+	// ColdLatency is the summed sampled cold-start latency.
+	ColdLatency time.Duration
+}
+
+// WarmHits returns the invocations served by an already-warm container.
+func (c ColdStartStats) WarmHits() int { return c.Invocations - c.ColdStarts }
+
+// WarmHitRatio returns WarmHits / Invocations (0 when idle).
+func (c ColdStartStats) WarmHitRatio() float64 {
+	if c.Invocations == 0 {
+		return 0
+	}
+	return float64(c.WarmHits()) / float64(c.Invocations)
+}
+
+// MeanColdLatency returns the mean sampled latency per cold start.
+func (c ColdStartStats) MeanColdLatency() time.Duration {
+	if c.ColdStarts == 0 {
+		return 0
+	}
+	return c.ColdLatency / time.Duration(c.ColdStarts)
+}
+
+// ColdStartHeader returns the standard cold-start table columns,
+// matching ColdStartStats.Columns cell for cell.
+func ColdStartHeader() []string { return []string{"cold", "warm-hit", "cold-mean"} }
+
+// Columns renders the stats as table cells in ColdStartHeader order.
+func (c ColdStartStats) Columns() []string {
+	return []string{
+		fmt.Sprintf("%d", c.ColdStarts),
+		fmt.Sprintf("%.1f%%", 100*c.WarmHitRatio()),
+		FormatDuration(c.MeanColdLatency()),
+	}
+}
+
 // Table renders labeled percentile rows as an aligned text table, the
 // form the experiment harness prints for Fig 8/15.
 func Table(header []string, rows [][]string) string {

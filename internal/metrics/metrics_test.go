@@ -153,3 +153,29 @@ func TestRenderCDF(t *testing.T) {
 		t.Fatal("empty CDF render")
 	}
 }
+
+func TestColdStartStats(t *testing.T) {
+	c := ColdStartStats{Invocations: 10, ColdStarts: 4, ColdLatency: ms(1000)}
+	if got := c.WarmHits(); got != 6 {
+		t.Fatalf("warm hits %d, want 6", got)
+	}
+	if got := c.WarmHitRatio(); got != 0.6 {
+		t.Fatalf("warm-hit ratio %f, want 0.6", got)
+	}
+	if got := c.MeanColdLatency(); got != ms(250) {
+		t.Fatalf("mean cold latency %v, want 250ms", got)
+	}
+	if (ColdStartStats{}).WarmHitRatio() != 0 || (ColdStartStats{}).MeanColdLatency() != 0 {
+		t.Fatal("zero-value stats must not divide by zero")
+	}
+	header, cols := ColdStartHeader(), c.Columns()
+	if len(header) != len(cols) {
+		t.Fatalf("header has %d columns, row %d", len(header), len(cols))
+	}
+	row := strings.Join(cols, " ")
+	for _, want := range []string{"4", "60.0%", "250.0ms"} {
+		if !strings.Contains(row, want) {
+			t.Fatalf("columns %q missing %q", row, want)
+		}
+	}
+}
