@@ -10,6 +10,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/experiments"
 	"github.com/serverless-sched/sfs/internal/live"
 	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/perfbench"
 	"github.com/serverless-sched/sfs/internal/sched"
 	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
@@ -64,6 +65,30 @@ func BenchmarkAblationOverload(b *testing.B)    { benchExperiment(b, "ablation-o
 func BenchmarkAblationTail(b *testing.B)        { benchExperiment(b, "ablation-tail") }
 func BenchmarkAblationQueueing(b *testing.B)    { benchExperiment(b, "ablation-queueing") }
 func BenchmarkSynthRamp(b *testing.B)           { benchExperiment(b, "synth-ramp") }
+
+// BenchmarkPerfbench runs the perf harness's micro-benchmarks (engine
+// step, cluster dispatch, trace decode/encode, metrics summary) at
+// quick scale through the normal `go test -bench` interface. The same
+// scenarios, measured by cmd/perfbench, produce the BENCH_<date>.json
+// trajectory files and CI's regression gate.
+func BenchmarkPerfbench(b *testing.B) {
+	for _, s := range perfbench.Scenarios(true, 42) {
+		b.Run(s.Name, s.Bench)
+	}
+}
+
+// BenchmarkRunAllParallel measures the parallel experiment runner's
+// wall-clock at several worker counts (the speedup cmd/perfbench
+// records under "experiments").
+func BenchmarkRunAllParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunAll(experiments.Config{Quick: true, Seed: 42}, workers)
+			}
+		})
+	}
+}
 
 // BenchmarkTracePipeline measures streaming generation throughput
 // (invocations per second of wall time) of each scenario family pulled

@@ -159,7 +159,8 @@ func (res *Result) RenderPerHost() string {
 	}
 	var rows [][]string
 	for i, hr := range res.PerHost {
-		ps := hr.Run.Percentiles([]float64{50, 99})
+		sum := hr.Run.Summarize(50, 99)
+		ps := sum.Percentiles()
 		row := []string{
 			fmt.Sprintf("%d", i),
 			fmt.Sprintf("%d", hr.Dispatches),
@@ -167,7 +168,7 @@ func (res *Result) RenderPerHost() string {
 			fmt.Sprintf("%.0f%%", hr.Utilization*100),
 			metrics.FormatDuration(ps[0]),
 			metrics.FormatDuration(ps[1]),
-			metrics.FormatDuration(hr.Run.MeanTurnaround()),
+			metrics.FormatDuration(sum.Mean()),
 		}
 		if withLifecycle {
 			row = append(row, hr.Lifecycle.Columns()...)
@@ -252,6 +253,20 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 		}
 	}
 
+	// next-event heap: always knows the globally-earliest host event, so
+	// the main loop below peeks in O(1) instead of scanning every host.
+	hh := newHostHeap(len(c.hosts))
+	hostKey := func(h *host) simtime.Time {
+		// Idle hosts may hold re-arming timer events (e.g. the SFS
+		// monitor); stepping those without work would never terminate,
+		// exactly as cpusim.Engine.Run stops when its pending count
+		// reaches zero. Park them at Infinity instead.
+		if h.eng.Pending() == 0 {
+			return simtime.Infinity
+		}
+		return h.eng.NextEventTime()
+	}
+
 	// offer asks the dispatcher to place records[ri], parking it in the
 	// central queue on Hold.
 	offer := func(at simtime.Time, ri int) bool {
@@ -291,6 +306,7 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 		}
 		c.hosts[idx].eng.Submit(rec.t)
 		c.hosts[idx].dispatched++
+		hh.update(idx, hostKey(c.hosts[idx]))
 		return true
 	}
 
@@ -309,25 +325,15 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 	next, more := src.Next()
 	for {
 		// The globally-earliest host event, among hosts that still have
-		// unfinished work. Idle hosts may hold re-arming timer events
-		// (e.g. the SFS monitor); stepping those without work would
-		// never terminate, exactly as cpusim.Engine.Run stops when its
-		// pending count reaches zero.
-		heTime, heHost := simtime.Infinity, -1
-		for i, h := range c.hosts {
-			if h.eng.Pending() == 0 {
-				continue
-			}
-			if t := h.eng.NextEventTime(); t < heTime {
-				heTime, heHost = t, i
-			}
-		}
+		// unfinished work (ties break by lowest host index, mirroring
+		// the heap's comparator).
+		heHost, heTime := hh.min()
 		arrTime := simtime.Infinity
 		if more {
 			arrTime = next.Arrival
 		}
 
-		if heHost >= 0 && heTime <= arrTime {
+		if heTime < simtime.Infinity && heTime <= arrTime {
 			// Host events fire before same-instant arrivals so a
 			// completion frees capacity the dispatcher can see.
 			if heTime > deadline {
@@ -337,6 +343,7 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 			h := c.hosts[heHost]
 			before := h.eng.Pending()
 			h.eng.StepEvent()
+			hh.update(heHost, hostKey(h))
 			if heTime > now {
 				now = heTime
 			}

@@ -1,0 +1,103 @@
+package cluster
+
+import "github.com/serverless-sched/sfs/internal/simtime"
+
+// hostHeap is an index-addressable binary min-heap of host indices keyed
+// by each host's next pending event time. It replaces the O(hosts) scan
+// the global event loop used to run before every step: peeking the
+// globally-earliest host is O(1) and re-keying a host after it steps or
+// receives work is O(log hosts).
+//
+// Ordering matches the scan it replaced exactly — earliest time first,
+// ties broken by lowest host index — so replays are byte-identical at
+// any host count. Hosts with no pending work are parked at
+// simtime.Infinity rather than removed, which keeps every host
+// addressable by index.
+type hostHeap struct {
+	key  []simtime.Time // host index -> current key
+	heap []int          // heap of host indices
+	pos  []int          // host index -> position in heap
+}
+
+// newHostHeap builds a heap of n hosts, all parked at Infinity.
+func newHostHeap(n int) *hostHeap {
+	h := &hostHeap{
+		key:  make([]simtime.Time, n),
+		heap: make([]int, n),
+		pos:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		h.key[i] = simtime.Infinity
+		h.heap[i] = i
+		h.pos[i] = i
+	}
+	return h
+}
+
+// min returns the host with the earliest key (lowest index on ties) and
+// that key. Hosts with no work report simtime.Infinity.
+func (h *hostHeap) min() (host int, at simtime.Time) {
+	top := h.heap[0]
+	return top, h.key[top]
+}
+
+// update re-keys host i and restores the heap invariant.
+func (h *hostHeap) update(i int, at simtime.Time) {
+	if h.key[i] == at {
+		return
+	}
+	h.key[i] = at
+	p := h.pos[i]
+	if !h.up(p) {
+		h.down(p)
+	}
+}
+
+// less orders heap positions by (key, host index); the index tie-break
+// reproduces the old scan's first-minimum choice.
+func (h *hostHeap) less(a, b int) bool {
+	ha, hb := h.heap[a], h.heap[b]
+	if h.key[ha] != h.key[hb] {
+		return h.key[ha] < h.key[hb]
+	}
+	return ha < hb
+}
+
+func (h *hostHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *hostHeap) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *hostHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/simtime"
+)
+
+// TestHostHeapMatchesScan drives the heap with random re-keys and checks
+// its minimum against the linear scan it replaced (earliest time wins,
+// ties by lowest host index) after every update.
+func TestHostHeapMatchesScan(t *testing.T) {
+	const hosts = 9
+	h := newHostHeap(hosts)
+	keys := make([]simtime.Time, hosts)
+	for i := range keys {
+		keys[i] = simtime.Infinity
+	}
+	scanMin := func() (int, simtime.Time) {
+		best, at := -1, simtime.Infinity
+		for i, k := range keys {
+			if k < at {
+				best, at = i, k
+			}
+		}
+		if best < 0 {
+			// All parked: the heap reports some host at Infinity; the
+			// index is irrelevant because callers guard on the key.
+			return h.heap[0], simtime.Infinity
+		}
+		return best, at
+	}
+
+	r := rng.New(11)
+	for step := 0; step < 5000; step++ {
+		i := r.Intn(hosts)
+		var k simtime.Time
+		switch r.Intn(4) {
+		case 0:
+			k = simtime.Infinity // host went idle
+		default:
+			// Coarse buckets force frequent exact ties so the
+			// index tie-break is actually exercised.
+			k = time.Duration(r.Intn(50)) * time.Millisecond
+		}
+		keys[i] = k
+		h.update(i, k)
+
+		wantHost, wantAt := scanMin()
+		gotHost, gotAt := h.min()
+		if gotAt != wantAt || (wantAt < simtime.Infinity && gotHost != wantHost) {
+			t.Fatalf("step %d: heap min (host %d, %v), scan min (host %d, %v)",
+				step, gotHost, gotAt, wantHost, wantAt)
+		}
+	}
+}

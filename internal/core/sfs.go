@@ -113,7 +113,7 @@ func (s workerState) String() string {
 type worker struct {
 	state     workerState
 	t         *task.Task
-	ev        *simtime.Event // pending detect (aware) or deadline (oblivious) event
+	ev        simtime.EventRef // pending detect (aware) or deadline (oblivious) event
 	busySince simtime.Time
 	busyTime  time.Duration // accumulated FILTER-mode core time (for the overhead model)
 }
@@ -298,7 +298,7 @@ func (s *SFS) Enqueue(now simtime.Time, t *task.Task) {
 			// wall time is charged against the slice and the task
 			// resumes in place.
 			s.api.Cancel(w.ev)
-			w.ev = nil
+			w.ev = simtime.EventRef{}
 			t.SliceLeft -= now - e.blockStart
 			if t.SliceLeft <= 0 {
 				s.detach(w, e)
@@ -310,7 +310,7 @@ func (s *SFS) Enqueue(now simtime.Time, t *task.Task) {
 			// Oblivious mode: slice deadline is wall-clock; resume if
 			// any budget remains.
 			s.api.Cancel(w.ev)
-			w.ev = nil
+			w.ev = simtime.EventRef{}
 			if now >= e.deadline {
 				s.detach(w, e)
 				s.demote(now, t)
@@ -563,7 +563,7 @@ func (s *SFS) onBlockDetected(now simtime.Time, core int) {
 	}
 	t := w.t
 	e := s.entOf(t)
-	w.ev = nil
+	w.ev = simtime.EventRef{}
 	// Timekeeping ran from the block until this detection.
 	t.SliceLeft -= now - e.blockStart
 	s.detach(w, e)
@@ -585,7 +585,7 @@ func (s *SFS) onObliviousDeadline(now simtime.Time, core int) {
 	}
 	t := w.t
 	e := s.entOf(t)
-	w.ev = nil
+	w.ev = simtime.EventRef{}
 	s.detach(w, e)
 	s.demote(now, t)
 	s.api.Reschedule(core)

@@ -55,10 +55,11 @@ type API interface {
 	// RanFor returns how long the current task on core has been running
 	// in its current stint (0 if the core is idle).
 	RanFor(core int) time.Duration
-	// After schedules fn at now+d; the returned event may be cancelled.
-	After(d time.Duration, fn func(now simtime.Time)) *simtime.Event
-	// Cancel cancels a pending event scheduled via After.
-	Cancel(ev *simtime.Event)
+	// After schedules fn at now+d; the returned ref may be cancelled.
+	After(d time.Duration, fn func(now simtime.Time)) simtime.EventRef
+	// Cancel cancels a pending event scheduled via After. Cancelling a
+	// zero or stale ref is a safe no-op.
+	Cancel(ev simtime.EventRef)
 	// Reschedule asks the engine to reconsider core: if idle, PickNext is
 	// invoked; if busy and the scheduler's WantsPreempt(core) returns
 	// true, the current task is preempted first.
@@ -98,9 +99,17 @@ type coreState struct {
 	runStart simtime.Time
 	budget   time.Duration // slice given at dispatch (0 = unbounded)
 	penalty  time.Duration // context-switch cost folded into this stint
-	event    *simtime.Event
+	event    simtime.EventRef
 	lastTask *task.Task    // previous occupant, for switch-cost accounting
 	busyTime time.Duration // total core time consumed (incl. switch cost)
+
+	// fire is the core's stint-end callback, built once at engine
+	// construction so the hot path schedules events without allocating
+	// a closure per stint. fireReason is the pending stint's end reason;
+	// only one stint event is ever outstanding per core, so a single
+	// slot suffices.
+	fire       func(now simtime.Time)
+	fireReason DescheduleReason
 }
 
 // Config parameterizes an engine run.
@@ -146,6 +155,12 @@ func NewEngine(cfg Config, s Scheduler) *Engine {
 		sched: s,
 		cores: make([]coreState, cfg.Cores),
 	}
+	for i := range e.cores {
+		i := i
+		e.cores[i].fire = func(now simtime.Time) {
+			e.coreEvent(now, i, e.cores[i].fireReason)
+		}
+	}
 	s.Bind(e)
 	return e
 }
@@ -169,12 +184,12 @@ func (e *Engine) RanFor(core int) time.Duration {
 }
 
 // After implements API.
-func (e *Engine) After(d time.Duration, fn func(now simtime.Time)) *simtime.Event {
+func (e *Engine) After(d time.Duration, fn func(now simtime.Time)) simtime.EventRef {
 	return e.q.After(d, fn)
 }
 
 // Cancel implements API.
-func (e *Engine) Cancel(ev *simtime.Event) { e.q.Cancel(ev) }
+func (e *Engine) Cancel(ev simtime.EventRef) { e.q.Cancel(ev) }
 
 // Reschedule implements API.
 func (e *Engine) Reschedule(core int) {
@@ -377,8 +392,8 @@ func (e *Engine) place(now simtime.Time, core int, t *task.Task, slice time.Dura
 	if runFor < 0 {
 		panic("cpusim: negative run segment")
 	}
-	r := reason
-	c.event = e.q.After(runFor+c.penalty, func(fireAt simtime.Time) { e.coreEvent(fireAt, core, r) })
+	c.fireReason = reason
+	c.event = e.q.After(runFor+c.penalty, c.fire)
 }
 
 // chargeRun updates accounting for a stint of wall length ran on core c.
@@ -411,7 +426,7 @@ func (e *Engine) preempt(now simtime.Time, core int) {
 	e.trace(TracePreempt, core, t)
 	t.MarkReady(now)
 	c.cur = nil
-	c.event = nil
+	c.event = simtime.EventRef{}
 	e.sched.Descheduled(now, core, t, ran, ReasonPreempted)
 }
 
@@ -426,7 +441,7 @@ func (e *Engine) coreEvent(now simtime.Time, core int, reason DescheduleReason) 
 	ran := now - c.runStart
 	e.chargeRun(c, t, ran)
 	c.cur = nil
-	c.event = nil
+	c.event = simtime.EventRef{}
 
 	switch reason {
 	case ReasonFinished:

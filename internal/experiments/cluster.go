@@ -24,6 +24,11 @@ func init() {
 // affinity policies concentrate bursts that per-host SFS then has to
 // absorb, while pull-based dispatch trades central queue delay for
 // never oversubscribing a host (the Hiku trade-off).
+//
+// Every (family, load, hosts, policy) cell is an independent cluster
+// simulation, so the sweep fans across the runner's worker pool; rows
+// and best-policy notes are assembled in cell order afterwards, keeping
+// the report byte-identical at any worker count.
 func runClusterDispatch(cfg Config) *Report {
 	const coresPerHost = 8
 	n := scaleN(cfg, 10000)
@@ -41,23 +46,57 @@ func runClusterDispatch(cfg Config) *Report {
 	}
 	rep.Header = []string{"family", "load", "hosts", "dispatch", "p50", "p99", "mean", "RTE>=0.95", "qdelay max"}
 
-	type key struct {
+	type cell struct {
 		family string
 		load   float64
 		hosts  int
-	}
-	best := map[key]struct {
 		policy string
-		mean   time.Duration
-	}{}
+	}
+	var cells []cell
+	for _, hosts := range hostCounts {
+		for _, load := range loads {
+			for _, policy := range cluster.Names() {
+				cells = append(cells, cell{"azure", load, hosts, policy})
+			}
+		}
+		// Synthetic RPS ramp crossing cluster saturation, as in the
+		// synth-ramp experiment but calibrated to the whole cluster.
+		for _, policy := range cluster.Names() {
+			cells = append(cells, cell{"synth-ramp", 0, hosts, policy})
+		}
+	}
 
-	run := func(family string, load float64, hosts int, policy string, src trace.Source) {
-		d, err := cluster.NewDispatcher(policy, cluster.FactoryConfig{Hosts: hosts, Seed: cfg.Seed})
+	type cellResult struct {
+		row  []string
+		mean time.Duration
+	}
+	results := make([]cellResult, len(cells))
+	cfg.fan(len(cells), func(i int) {
+		c := cells[i]
+		total := c.hosts * coresPerHost
+		var src trace.Source
+		if c.family == "azure" {
+			src = workload.AzureSampledStream(workload.AzureSampledSpec{
+				N: n, Cores: total, Load: derate(c.load), Seed: cfg.Seed,
+			})
+		} else {
+			meanSvc := workload.TableIDistribution().Mean()
+			satRPS := float64(total) / meanSvc.Seconds()
+			src = workload.SyntheticStream(workload.SyntheticSpec{
+				Shape:     trace.ShapeRamp,
+				StartRPS:  0.3 * satRPS,
+				TargetRPS: 1.2 * satRPS,
+				Horizon:   time.Duration(float64(n) / (0.75 * satRPS) * float64(time.Second)),
+				N:         n,
+				Seed:      cfg.Seed,
+			})
+		}
+		d, err := cluster.NewDispatcher(c.policy, cluster.FactoryConfig{Hosts: c.hosts, Seed: cfg.Seed})
 		if err != nil {
 			panic(err)
 		}
 		cl, err := cluster.New(cluster.Config{
-			Hosts:        hosts,
+			Hosts:        c.hosts,
 			CoresPerHost: coresPerHost,
 			NewScheduler: func() cpusim.Scheduler { return core.New(core.DefaultConfig()) },
 			Dispatcher:   d,
@@ -69,52 +108,42 @@ func runClusterDispatch(cfg Config) *Report {
 		if err != nil {
 			panic(err)
 		}
-		ps := res.Merged.Percentiles([]float64{50, 99})
-		mean := res.Merged.MeanTurnaround()
-		rep.Rows = append(rep.Rows, []string{
-			family,
-			fmt.Sprintf("%.0f%%", load*100),
-			fmt.Sprintf("%d", hosts),
-			policy,
-			metrics.FormatDuration(ps[0]),
-			metrics.FormatDuration(ps[1]),
-			metrics.FormatDuration(mean),
-			fmt.Sprintf("%.1f%%", 100*res.Merged.FractionRTEAtLeast(0.95)),
-			metrics.FormatDuration(res.QueueDelayMax),
-		})
-		k := key{family, load, hosts}
-		if b, ok := best[k]; !ok || mean < b.mean {
+		sum := res.Merged.Summarize(50, 99)
+		ps := sum.Percentiles()
+		mean := sum.Mean()
+		results[i] = cellResult{
+			row: []string{
+				c.family,
+				fmt.Sprintf("%.0f%%", c.load*100),
+				fmt.Sprintf("%d", c.hosts),
+				c.policy,
+				metrics.FormatDuration(ps[0]),
+				metrics.FormatDuration(ps[1]),
+				metrics.FormatDuration(mean),
+				fmt.Sprintf("%.1f%%", 100*res.Merged.FractionRTEAtLeast(0.95)),
+				metrics.FormatDuration(res.QueueDelayMax),
+			},
+			mean: mean,
+		}
+	})
+
+	type key struct {
+		family string
+		load   float64
+		hosts  int
+	}
+	best := map[key]struct {
+		policy string
+		mean   time.Duration
+	}{}
+	for i, c := range cells {
+		rep.Rows = append(rep.Rows, results[i].row)
+		k := key{c.family, c.load, c.hosts}
+		if b, ok := best[k]; !ok || results[i].mean < b.mean {
 			best[k] = struct {
 				policy string
 				mean   time.Duration
-			}{policy, mean}
-		}
-	}
-
-	for _, hosts := range hostCounts {
-		total := hosts * coresPerHost
-		for _, load := range loads {
-			for _, policy := range cluster.Names() {
-				src := workload.AzureSampledStream(workload.AzureSampledSpec{
-					N: n, Cores: total, Load: derate(load), Seed: cfg.Seed,
-				})
-				run("azure", load, hosts, policy, src)
-			}
-		}
-		// Synthetic RPS ramp crossing cluster saturation, as in the
-		// synth-ramp experiment but calibrated to the whole cluster.
-		meanSvc := workload.TableIDistribution().Mean()
-		satRPS := float64(total) / meanSvc.Seconds()
-		for _, policy := range cluster.Names() {
-			src := workload.SyntheticStream(workload.SyntheticSpec{
-				Shape:     trace.ShapeRamp,
-				StartRPS:  0.3 * satRPS,
-				TargetRPS: 1.2 * satRPS,
-				Horizon:   time.Duration(float64(n) / (0.75 * satRPS) * float64(time.Second)),
-				N:         n,
-				Seed:      cfg.Seed,
-			})
-			run("synth-ramp", 0, hosts, policy, src)
+			}{c.policy, results[i].mean}
 		}
 	}
 

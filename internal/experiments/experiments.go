@@ -24,8 +24,15 @@ type Config struct {
 	// runs in seconds (used by tests and benchmarks). Full mode matches
 	// the paper's scale (10,000 replayed invocations, 12/16/72 cores).
 	Quick bool
-	// Seed drives all synthetic inputs.
+	// Seed drives all synthetic inputs. RunAll and RunOne derive a
+	// per-experiment seed from it (see DeriveSeed) so results are
+	// independent of worker count and execution order.
 	Seed uint64
+
+	// pool, when set by RunAll/RunOne, lets experiments fan their
+	// independent inner sweep cells across the shared worker pool via
+	// Config.fan. The zero Config fans serially.
+	pool *Pool
 }
 
 // Series is one named line of a figure (e.g. "CFS 100%"): a CDF (F is a

@@ -107,40 +107,66 @@ func runKeepalive(cfg Config) *Report {
 		return fmt.Sprintf("%dMB", mb)
 	}
 
+	// Every (family, memory, policy) cell is an independent simulation:
+	// enumerate them up front, fan them across the runner's worker pool,
+	// and assemble rows in cell order afterwards so the report is
+	// byte-identical at any worker count.
+	type cell struct {
+		family string
+		mem    int
+		policy string
+	}
+	var cells []cell
 	for _, family := range []string{"azure", "periodic"} {
 		for _, mem := range memories {
 			for _, policy := range lifecycle.PolicyNames() {
-				p, err := lifecycle.NewPolicy(policy, lifecycle.PolicyConfig{TTL: keepaliveTTL, Seed: cfg.Seed})
-				if err != nil {
-					panic(err)
-				}
-				mgr, err := lifecycle.New(lifecycle.Config{Policy: p, MemoryMB: mem, Seed: cfg.Seed})
-				if err != nil {
-					panic(err)
-				}
-				eng := cpusim.NewEngine(cpusim.Config{Cores: cores}, core.New(core.DefaultConfig()))
-				if _, err := lifecycle.Run(mkSource(family), mgr, eng); err != nil {
-					panic(err)
-				}
-				run := metrics.Run{Scheduler: policy, Tasks: eng.Tasks()}
-				ps := run.Percentiles([]float64{50, 99})
-				st := mgr.Stats()
-				rep.Rows = append(rep.Rows, []string{
-					family, memLabel(mem), policy,
-					fmt.Sprintf("%.1f%%", 100*st.WarmHitRatio()),
-					fmt.Sprintf("%d", st.ColdStarts),
-					metrics.FormatDuration(st.MeanColdLatency()),
-					metrics.FormatDuration(ps[0]),
-					metrics.FormatDuration(ps[1]),
-					metrics.FormatDuration(run.MeanTurnaround()),
-				})
-				k := key{family, mem}
-				if ratios[k] == nil {
-					ratios[k] = map[string]float64{}
-				}
-				ratios[k][policy] = st.WarmHitRatio()
+				cells = append(cells, cell{family, mem, policy})
 			}
 		}
+	}
+	type cellResult struct {
+		row   []string
+		ratio float64
+	}
+	results := make([]cellResult, len(cells))
+	cfg.fan(len(cells), func(i int) {
+		c := cells[i]
+		p, err := lifecycle.NewPolicy(c.policy, lifecycle.PolicyConfig{TTL: keepaliveTTL, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		mgr, err := lifecycle.New(lifecycle.Config{Policy: p, MemoryMB: c.mem, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		eng := cpusim.NewEngine(cpusim.Config{Cores: cores}, core.New(core.DefaultConfig()))
+		if _, err := lifecycle.Run(mkSource(c.family), mgr, eng); err != nil {
+			panic(err)
+		}
+		run := metrics.Run{Scheduler: c.policy, Tasks: eng.Tasks()}
+		sum := run.Summarize(50, 99)
+		ps := sum.Percentiles()
+		st := mgr.Stats()
+		results[i] = cellResult{
+			row: []string{
+				c.family, memLabel(c.mem), c.policy,
+				fmt.Sprintf("%.1f%%", 100*st.WarmHitRatio()),
+				fmt.Sprintf("%d", st.ColdStarts),
+				metrics.FormatDuration(st.MeanColdLatency()),
+				metrics.FormatDuration(ps[0]),
+				metrics.FormatDuration(ps[1]),
+				metrics.FormatDuration(sum.Mean()),
+			},
+			ratio: st.WarmHitRatio(),
+		}
+	})
+	for i, c := range cells {
+		rep.Rows = append(rep.Rows, results[i].row)
+		k := key{c.family, c.mem}
+		if ratios[k] == nil {
+			ratios[k] = map[string]float64{}
+		}
+		ratios[k][c.policy] = results[i].ratio
 	}
 
 	// The headline ordering, checked at every equal-memory point.
@@ -160,9 +186,13 @@ func runKeepalive(cfg Config) *Report {
 
 	// Dispatch-side interaction: with per-host warm pools, routing on
 	// warm state (WARMFIRST) against affinity-blind spreading (RR) and
-	// static affinity (HASH).
+	// static affinity (HASH). Independent runs, fanned like the cells
+	// above; notes are appended in dispatcher order afterwards.
 	const hosts, hostCores = 4, 8
-	for _, dispatch := range []string{"RR", "HASH", "WARMFIRST"} {
+	dispatches := []string{"RR", "HASH", "WARMFIRST"}
+	dispatchNotes := make([]string, len(dispatches))
+	cfg.fan(len(dispatches), func(i int) {
+		dispatch := dispatches[i]
 		d, err := cluster.NewDispatcher(dispatch, cluster.FactoryConfig{Hosts: hosts, Seed: cfg.Seed})
 		if err != nil {
 			panic(err)
@@ -199,10 +229,11 @@ func runKeepalive(cfg Config) *Report {
 		if err != nil {
 			panic(err)
 		}
-		rep.Notes = append(rep.Notes, fmt.Sprintf(
+		dispatchNotes[i] = fmt.Sprintf(
 			"cluster %dx%d, TTL@1024MB, %s dispatch: %.1f%% warm hits, mean %s",
 			hosts, hostCores, dispatch, 100*res.Lifecycle.WarmHitRatio(),
-			metrics.FormatDuration(res.Merged.MeanTurnaround())))
-	}
+			metrics.FormatDuration(res.Merged.MeanTurnaround()))
+	})
+	rep.Notes = append(rep.Notes, dispatchNotes...)
 	return rep
 }

@@ -73,9 +73,11 @@ func (r Run) RTECDF() []stats.CDFPoint {
 }
 
 // Percentiles returns the turnaround values at the given percentile
-// ranks.
+// ranks. By default they are streaming P² estimates computed in one
+// pass without retaining samples; set ExactQuantiles for the exact
+// sort-based definition (validation mode).
 func (r Run) Percentiles(ps []float64) []time.Duration {
-	return stats.DurationPercentiles(r.Turnarounds(), ps)
+	return r.Summarize(ps...).Percentiles()
 }
 
 // MeanTurnaround returns the mean turnaround across finished tasks.

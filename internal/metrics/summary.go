@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/stats"
+)
+
+// ExactQuantiles switches every percentile computed through Summary
+// (and therefore Run.Percentiles) from streaming P² estimation to the
+// exact sort-based definition. The streaming default keeps large
+// experiment sweeps O(1) in memory per percentile and sort-free; the
+// exact mode exists for validation — tests flip it to check estimator
+// tolerance and to reproduce the pre-streaming byte-exact outputs.
+//
+// The flag is read once per Summary at construction. It is a plain
+// package variable because modes are a process-wide choice made at
+// startup (cmd/experiments -exact, validation TestMains); it is not
+// synchronized for concurrent toggling.
+var ExactQuantiles = false
+
+// Summary accumulates a run's turnaround statistics in one streaming
+// pass: Welford moments (count, mean, min, max) plus one P² marker set
+// per requested percentile rank. Unlike the sort-based helpers in
+// internal/stats it never retains samples (except in exact mode), so
+// summarizing a host, a window, or a whole cluster costs O(ranks) memory
+// regardless of invocation count.
+type Summary struct {
+	ranks   []float64
+	moments stats.Online
+	est     []*stats.P2     // streaming mode, one per in-range rank
+	samples []time.Duration // retained only in exact mode
+	exact   bool
+}
+
+// NewSummary returns a streaming summary for the given percentile ranks
+// (or an exact one when ExactQuantiles is set). Ranks at or beyond the
+// extremes (<= 0, >= 100) are answered from the tracked min/max rather
+// than a marker set.
+func NewSummary(ranks ...float64) *Summary {
+	s := &Summary{ranks: append([]float64(nil), ranks...), exact: ExactQuantiles}
+	if !s.exact {
+		s.est = make([]*stats.P2, len(s.ranks))
+		for i, r := range s.ranks {
+			if r > 0 && r < 100 {
+				s.est[i] = stats.NewP2(r)
+			}
+		}
+	}
+	return s
+}
+
+// Add incorporates one turnaround sample.
+func (s *Summary) Add(d time.Duration) {
+	s.moments.AddDuration(d)
+	if s.exact {
+		s.samples = append(s.samples, d)
+		return
+	}
+	for _, e := range s.est {
+		if e != nil {
+			e.AddDuration(d)
+		}
+	}
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int64 { return s.moments.N() }
+
+// Mean returns the mean sample.
+func (s *Summary) Mean() time.Duration { return s.moments.MeanDuration() }
+
+// Std returns the sample standard deviation in nanoseconds.
+func (s *Summary) Std() float64 { return s.moments.Std() }
+
+// Min returns the smallest sample (0 if empty).
+func (s *Summary) Min() time.Duration { return time.Duration(s.moments.Min()) }
+
+// Max returns the largest sample (0 if empty).
+func (s *Summary) Max() time.Duration { return time.Duration(s.moments.Max()) }
+
+// Percentiles returns the values at the ranks the summary was built
+// with, in the same order.
+func (s *Summary) Percentiles() []time.Duration {
+	if s.exact {
+		return stats.DurationPercentiles(s.samples, s.ranks)
+	}
+	out := make([]time.Duration, len(s.ranks))
+	for i, r := range s.ranks {
+		switch {
+		case s.moments.N() == 0:
+			out[i] = 0
+		case r <= 0:
+			out[i] = s.Min()
+		case r >= 100:
+			out[i] = s.Max()
+		default:
+			out[i] = s.est[i].QuantileDuration()
+		}
+	}
+	return out
+}
+
+// Summarize streams every finished task's turnaround through a Summary
+// in one pass — the single-pass replacement for calling Percentiles and
+// MeanTurnaround separately (each of which re-materialized the sample
+// slice).
+func (r Run) Summarize(ranks ...float64) *Summary {
+	s := NewSummary(ranks...)
+	for _, t := range r.Tasks {
+		if ta := t.Turnaround(); ta >= 0 {
+			s.Add(ta)
+		}
+	}
+	return s
+}

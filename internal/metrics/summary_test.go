@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/stats"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// lognormalRun builds a run with heavy-tailed turnarounds, the shape the
+// simulator actually produces.
+func lognormalRun(n int, seed uint64) Run {
+	r := rng.New(seed)
+	tasks := make([]*task.Task, n)
+	for i := range tasks {
+		ta := time.Duration(math.Exp(math.Log(50e6) + 1.2*r.NormFloat64()))
+		tasks[i] = mkTask(i, ta/2, ta)
+	}
+	return Run{Tasks: tasks}
+}
+
+// TestExactModeByteIdentical: with ExactQuantiles set, Percentiles must
+// reproduce the pre-streaming implementation — a sort-based
+// stats.DurationPercentiles over the turnaround slice — bit for bit,
+// and therefore every rendered table built on it.
+func TestExactModeByteIdentical(t *testing.T) {
+	ExactQuantiles = true
+	defer func() { ExactQuantiles = false }()
+
+	r := lognormalRun(5000, 7)
+	got := r.Percentiles(StandardPercentiles)
+	want := stats.DurationPercentiles(r.Turnarounds(), StandardPercentiles)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %v: exact mode %v != pre-refactor %v",
+				StandardPercentiles[i], got[i], want[i])
+		}
+	}
+	gotStr := FormatDuration(got[0])
+	wantStr := FormatDuration(want[0])
+	if gotStr != wantStr {
+		t.Fatalf("rendered cell %q != %q", gotStr, wantStr)
+	}
+}
+
+// TestStreamingWithinTolerance: the default streaming estimates must
+// land within a few percent of the exact sort on realistic samples.
+func TestStreamingWithinTolerance(t *testing.T) {
+	r := lognormalRun(20000, 11)
+	exact := stats.DurationPercentiles(r.Turnarounds(), []float64{50, 90, 99})
+	got := r.Percentiles([]float64{50, 90, 99})
+	for i, tol := range []float64{0.05, 0.05, 0.10} {
+		relErr := math.Abs(float64(got[i]-exact[i])) / float64(exact[i])
+		if relErr > tol {
+			t.Errorf("rank %d: streaming %v vs exact %v (rel err %.3f > %.2f)",
+				i, got[i], exact[i], relErr, tol)
+		}
+	}
+}
+
+// TestSummarySinglePassMatchesMultiPass: Summarize's moments must agree
+// with the independent MeanTurnaround path, and extreme ranks map to
+// tracked min/max.
+func TestSummarySinglePassMatchesMultiPass(t *testing.T) {
+	r := lognormalRun(1000, 3)
+	sum := r.Summarize(0, 50, 100)
+	if sum.Mean() != r.MeanTurnaround() {
+		t.Fatalf("summary mean %v != MeanTurnaround %v", sum.Mean(), r.MeanTurnaround())
+	}
+	if int(sum.N()) != len(r.Turnarounds()) {
+		t.Fatalf("summary N %d != %d", sum.N(), len(r.Turnarounds()))
+	}
+	ps := sum.Percentiles()
+	exact := stats.DurationPercentiles(r.Turnarounds(), []float64{0, 50, 100})
+	if ps[0] != exact[0] || ps[2] != exact[2] {
+		t.Fatalf("extreme ranks: got (%v, %v), want exact (%v, %v)", ps[0], ps[2], exact[0], exact[2])
+	}
+}
+
+// TestSummaryEmptyRun: no finished tasks must not panic or divide by
+// zero anywhere.
+func TestSummaryEmptyRun(t *testing.T) {
+	r := Run{Tasks: []*task.Task{task.New(0, 0, time.Millisecond)}}
+	sum := r.Summarize(50, 99)
+	if sum.N() != 0 || sum.Mean() != 0 {
+		t.Fatalf("empty run: N=%d mean=%v", sum.N(), sum.Mean())
+	}
+	for _, p := range sum.Percentiles() {
+		if p != 0 {
+			t.Fatalf("empty run percentile %v", p)
+		}
+	}
+}

@@ -16,6 +16,14 @@
 // Step — the idiom for "immediate" follow-up work. Cancel is O(log n)
 // and safe on already-fired events, which is what lets schedulers
 // re-arm timers without bookkeeping.
+//
+// Event structs are pooled: once an event fires or is cancelled, its
+// struct is recycled for a later At/After call, so steady-state
+// simulations allocate no event memory at all. Handles are therefore
+// value-type EventRefs carrying a generation counter — a ref to a
+// recycled event simply stops matching, which keeps Cancel on stale
+// handles a safe no-op instead of a use-after-free on someone else's
+// timer.
 package simtime
 
 import "time"
@@ -27,18 +35,32 @@ type Time = time.Duration
 // will schedule.
 const Infinity Time = 1<<63 - 1
 
-// Event is a callback scheduled to fire at a virtual time. Events may be
-// cancelled before they fire.
+// Event is a callback scheduled to fire at a virtual time. Event structs
+// are owned and recycled by the Queue; callers hold EventRef handles.
 type Event struct {
 	At   Time
 	Fn   func(now Time)
 	seq  uint64
 	idx  int // heap index; -1 when not queued
+	gen  uint32
 	dead bool
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.dead }
+// EventRef is a value handle to a scheduled event. The zero EventRef is
+// valid and refers to no event. Because event structs are recycled, a
+// ref is only live while its generation matches; Cancel and Cancelled
+// on a stale ref (fired, cancelled, or recycled) are safe no-ops.
+type EventRef struct {
+	e   *Event
+	gen uint32
+}
+
+// Cancelled reports whether the referenced event is no longer pending:
+// it fired, was cancelled, or its struct was recycled for a newer event.
+// The zero EventRef reports false.
+func (r EventRef) Cancelled() bool {
+	return r.e != nil && (r.e.gen != r.gen || r.e.dead)
+}
 
 // Queue is a deterministic discrete-event queue. The zero value is ready to
 // use. Queue is not safe for concurrent use; simulations are single
@@ -47,6 +69,7 @@ type Queue struct {
 	now    Time
 	seq    uint64
 	heap   []*Event
+	free   []*Event // recycled event structs
 	fired  uint64
 	sched  uint64
 	cancel uint64
@@ -63,41 +86,62 @@ func (q *Queue) Stats() (scheduled, fired, cancelled uint64) {
 	return q.sched, q.fired, q.cancel
 }
 
+// alloc takes an event struct from the free list or the heap allocator.
+func (q *Queue) alloc() *Event {
+	if n := len(q.free); n > 0 {
+		e := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// release returns a finished event struct to the free list, bumping its
+// generation so outstanding refs to its previous life go stale.
+func (q *Queue) release(e *Event) {
+	e.gen++
+	e.Fn = nil
+	q.free = append(q.free, e)
+}
+
 // At schedules fn at absolute virtual time at. Scheduling in the past (or
 // at the current instant) fires the event at the current time on the next
 // Step; this is valid and used for "immediate" follow-up work. The returned
-// Event handle may be passed to Cancel.
-func (q *Queue) At(at Time, fn func(now Time)) *Event {
+// EventRef may be passed to Cancel.
+func (q *Queue) At(at Time, fn func(now Time)) EventRef {
 	if at < q.now {
 		at = q.now
 	}
-	e := &Event{At: at, Fn: fn, seq: q.seq}
+	e := q.alloc()
+	e.At, e.Fn, e.seq, e.dead = at, fn, q.seq, false
 	q.seq++
 	q.sched++
 	q.push(e)
-	return e
+	return EventRef{e: e, gen: e.gen}
 }
 
 // After schedules fn after delay d from the current virtual time.
-func (q *Queue) After(d Time, fn func(now Time)) *Event {
+func (q *Queue) After(d Time, fn func(now Time)) EventRef {
 	if d < 0 {
 		d = 0
 	}
 	return q.At(q.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling a nil, already-fired, or
-// already-cancelled event is a no-op.
-func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.dead || e.idx < 0 {
-		if e != nil && !e.dead {
-			e.dead = true
-		}
+// Cancel removes a pending event. Cancelling a zero, already-fired,
+// already-cancelled, or recycled ref is a no-op.
+func (q *Queue) Cancel(r EventRef) {
+	e := r.e
+	if e == nil || e.gen != r.gen || e.dead {
 		return
 	}
 	e.dead = true
-	q.remove(e.idx)
-	q.cancel++
+	if e.idx >= 0 {
+		q.remove(e.idx)
+		q.cancel++
+		q.release(e)
+	}
 }
 
 // PeekTime returns the time of the next pending event, or Infinity if none.
@@ -115,12 +159,15 @@ func (q *Queue) Step() bool {
 		e := q.heap[0]
 		q.remove(0)
 		if e.dead {
+			q.release(e)
 			continue
 		}
 		q.now = e.At
 		e.dead = true
 		q.fired++
-		e.Fn(q.now)
+		fn := e.Fn
+		q.release(e)
+		fn(q.now)
 		return true
 	}
 	return false

@@ -96,7 +96,7 @@ func TestCancel(t *testing.T) {
 
 func TestCancelNilAndDouble(t *testing.T) {
 	q := &Queue{}
-	q.Cancel(nil) // must not panic
+	q.Cancel(EventRef{}) // must not panic
 	e := q.After(time.Millisecond, func(Time) {})
 	q.Cancel(e)
 	q.Cancel(e) // double cancel must not panic
@@ -106,7 +106,7 @@ func TestCancelNilAndDouble(t *testing.T) {
 func TestCancelFromWithinEvent(t *testing.T) {
 	q := &Queue{}
 	fired := false
-	var victim *Event
+	var victim EventRef
 	q.After(time.Millisecond, func(Time) { q.Cancel(victim) })
 	victim = q.After(2*time.Millisecond, func(Time) { fired = true })
 	q.RunAll()
@@ -150,7 +150,7 @@ func TestHeapStress(t *testing.T) {
 	q := &Queue{}
 	r := rng.New(7)
 	var last Time = -1
-	var pending []*Event
+	var pending []EventRef
 	scheduled := 0
 	for i := 0; i < 200; i++ {
 		e := q.After(time.Duration(r.Intn(1000))*time.Millisecond, func(now Time) {
@@ -193,6 +193,67 @@ func BenchmarkScheduleFire(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.After(time.Duration(r.Intn(1_000_000)), func(Time) {})
+		q.Step()
+	}
+}
+
+// TestEventRecycling: fired and cancelled event structs are reused by
+// later schedules, and stale refs to their previous lives are inert.
+func TestEventRecycling(t *testing.T) {
+	q := &Queue{}
+	first := q.After(time.Millisecond, func(Time) {})
+	q.RunAll()
+	if !first.Cancelled() {
+		t.Fatal("fired event's ref should report no longer pending")
+	}
+
+	// The struct backing `first` is now on the free list; the next
+	// schedule reuses it. Cancelling the stale ref must not touch the
+	// new event.
+	fired := false
+	second := q.After(time.Millisecond, func(Time) { fired = true })
+	q.Cancel(first) // stale: different generation
+	q.RunAll()
+	if !fired {
+		t.Fatal("stale Cancel killed an unrelated recycled event")
+	}
+	_ = second
+
+	// Same for a cancelled (never fired) event.
+	third := q.After(time.Millisecond, func(Time) {})
+	q.Cancel(third)
+	fired = false
+	fourth := q.After(time.Millisecond, func(Time) { fired = true })
+	q.Cancel(third) // stale double-cancel on a recycled struct
+	q.RunAll()
+	if !fired {
+		t.Fatal("stale double-cancel killed a recycled event")
+	}
+	_ = fourth
+}
+
+// TestZeroEventRef: the zero ref is inert everywhere.
+func TestZeroEventRef(t *testing.T) {
+	q := &Queue{}
+	var zero EventRef
+	q.Cancel(zero) // must not panic
+	if zero.Cancelled() {
+		t.Fatal("zero ref must not report cancelled")
+	}
+}
+
+// BenchmarkScheduleFireAllocs verifies the steady-state schedule/fire
+// cycle runs allocation-free thanks to event recycling.
+func BenchmarkScheduleFireAllocs(b *testing.B) {
+	q := &Queue{}
+	fn := func(Time) {}
+	for i := 0; i < 64; i++ {
+		q.After(time.Duration(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.After(time.Duration(i%1000), fn)
 		q.Step()
 	}
 }

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/rng"
+)
+
+// p2RelErr streams samples through P² at the given rank and returns the
+// relative error against the exact interpolated percentile.
+func p2RelErr(t *testing.T, samples []float64, rank float64) float64 {
+	t.Helper()
+	e := NewP2(rank)
+	for _, x := range samples {
+		e.Add(x)
+	}
+	exact := Percentile(samples, rank)
+	if exact == 0 {
+		t.Fatalf("degenerate exact percentile at rank %v", rank)
+	}
+	return math.Abs(e.Quantile()-exact) / exact
+}
+
+// TestP2Lognormal: on a heavy-tailed lognormal (the shape of serverless
+// durations), P² estimates must land within a few percent of the exact
+// sort at the ranks the experiment tables print.
+func TestP2Lognormal(t *testing.T) {
+	r := rng.New(3)
+	ln := dist.Lognormal{Mu: math.Log(100e6), Sigma: 1.5} // median 100ms
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = float64(ln.Sample(r))
+	}
+	for rank, tol := range map[float64]float64{50: 0.05, 90: 0.05, 99: 0.10} {
+		if err := p2RelErr(t, samples, rank); err > tol {
+			t.Errorf("lognormal P%g: relative error %.3f > %.2f", rank, err, tol)
+		}
+	}
+}
+
+// TestP2Mixture: a bimodal mixture (short functions + long functions,
+// the paper's Table I shape) is the adversarial case for marker-based
+// estimators; the estimate must still track the exact percentile.
+func TestP2Mixture(t *testing.T) {
+	r := rng.New(5)
+	m := dist.NewMixture(
+		dist.Mode{Weight: 0.8, Dist: dist.Uniform{Lo: 10 * time.Millisecond, Hi: 90 * time.Millisecond}},
+		dist.Mode{Weight: 0.2, Dist: dist.Uniform{Lo: 2 * time.Second, Hi: 8 * time.Second}},
+	)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = float64(m.Sample(r))
+	}
+	for rank, tol := range map[float64]float64{50: 0.08, 90: 0.15, 99: 0.10} {
+		if err := p2RelErr(t, samples, rank); err > tol {
+			t.Errorf("mixture P%g: relative error %.3f > %.2f", rank, err, tol)
+		}
+	}
+}
+
+// TestP2SmallSamples: below five observations the estimator must agree
+// exactly with the interpolated percentile definition.
+func TestP2SmallSamples(t *testing.T) {
+	samples := []float64{40, 10, 30, 20}
+	for n := 1; n <= len(samples); n++ {
+		for _, rank := range []float64{50, 90, 99} {
+			e := NewP2(rank)
+			for _, x := range samples[:n] {
+				e.Add(x)
+			}
+			want := Percentile(samples[:n], rank)
+			if got := e.Quantile(); got != want {
+				t.Errorf("n=%d P%g: got %v, want exact %v", n, rank, got, want)
+			}
+		}
+	}
+	if (&P2{p: 0.5}).Quantile() != 0 {
+		t.Error("empty estimator should report 0")
+	}
+}
+
+// TestP2Deterministic: identical input sequences yield identical
+// estimates (the property experiment byte-identity rests on).
+func TestP2Deterministic(t *testing.T) {
+	r := rng.New(9)
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = r.Float64() * 1000
+	}
+	run := func() float64 {
+		e := NewP2(99)
+		for _, x := range samples {
+			e.Add(x)
+		}
+		return e.Quantile()
+	}
+	if run() != run() {
+		t.Fatal("P² is not deterministic on identical input")
+	}
+}
+
+// TestP2Monotone: markers must stay ordered (q0 <= q1 <= q2 <= q3 <= q4)
+// under adversarial constant and alternating inputs.
+func TestP2Monotone(t *testing.T) {
+	e := NewP2(90)
+	for i := 0; i < 1000; i++ {
+		x := 1.0
+		if i%2 == 0 {
+			x = 2
+		}
+		e.Add(x)
+		for j := 0; j+1 < 5 && e.n >= 5; j++ {
+			if e.q[j] > e.q[j+1] {
+				t.Fatalf("markers out of order after %d adds: %v", i+1, e.q)
+			}
+		}
+	}
+}

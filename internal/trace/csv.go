@@ -1,12 +1,15 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"github.com/serverless-sched/sfs/internal/simtime"
 	"github.com/serverless-sched/sfs/internal/task"
@@ -30,18 +33,27 @@ var csvHeader = []string{"id", "app", "arrival_us", "service_us", "io_ops"}
 // WriteCSV streams src to w, returning the number of invocations
 // written. Both generation errors (via trace.Err) and write errors are
 // reported.
+//
+// Rows are encoded by hand into one reused buffer (strconv.Append*
+// onto a scratch slice, flushed through one bufio.Writer) instead of
+// encoding/csv's per-row field slices, so exporting an N-row trace
+// costs O(1) allocations rather than O(N). The emitted bytes are
+// identical to encoding/csv's output: fields are quoted the same way
+// when (and only when) they need it, and rows end in "\n".
 func WriteCSV(w io.Writer, src Source) (int, error) {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(strings.Join(csvHeader, ",") + "\n"); err != nil {
 		return 0, err
 	}
 	n := 0
+	buf := make([]byte, 0, 128)
 	for {
 		t, ok := src.Next()
 		if !ok {
 			break
 		}
-		if err := cw.Write(record(t)); err != nil {
+		buf = appendRecord(buf[:0], t)
+		if _, err := bw.Write(buf); err != nil {
 			return n, err
 		}
 		n++
@@ -49,8 +61,7 @@ func WriteCSV(w io.Writer, src Source) (int, error) {
 	if err := Err(src); err != nil {
 		return n, err
 	}
-	cw.Flush()
-	return n, cw.Error()
+	return n, bw.Flush()
 }
 
 // WriteTasksCSV serializes an already-materialized task slice (the
@@ -60,22 +71,61 @@ func WriteTasksCSV(w io.Writer, tasks []*task.Task) error {
 	return err
 }
 
-// record renders one invocation as a CSV row.
-func record(t *task.Task) []string {
-	var ops strings.Builder
+// appendRecord renders one invocation as a CSV row (with trailing
+// newline) onto buf without allocating.
+func appendRecord(buf []byte, t *task.Task) []byte {
+	buf = strconv.AppendInt(buf, int64(t.ID), 10)
+	buf = append(buf, ',')
+	buf = appendField(buf, t.App)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, t.Arrival.Microseconds(), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, t.Service.Microseconds(), 10)
+	buf = append(buf, ',')
 	for i, op := range t.IOOps {
 		if i > 0 {
-			ops.WriteByte(';')
+			buf = append(buf, ';')
 		}
-		fmt.Fprintf(&ops, "%d:%d", op.At.Microseconds(), op.Dur.Microseconds())
+		buf = strconv.AppendInt(buf, op.At.Microseconds(), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, op.Dur.Microseconds(), 10)
 	}
-	return []string{
-		strconv.Itoa(t.ID),
-		t.App,
-		strconv.FormatInt(t.Arrival.Microseconds(), 10),
-		strconv.FormatInt(t.Service.Microseconds(), 10),
-		ops.String(),
+	return append(buf, '\n')
+}
+
+// appendField appends a free-form field (the app name), quoting it
+// exactly when encoding/csv would: when it contains a separator,
+// quote, or newline, begins with whitespace, or is the literal `\.`
+// (the Postgres end-of-data marker encoding/csv special-cases).
+func appendField(buf []byte, s string) []byte {
+	if !fieldNeedsQuotes(s) {
+		return append(buf, s...)
 	}
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			buf = append(buf, '"', '"')
+		} else {
+			buf = append(buf, s[i])
+		}
+	}
+	return append(buf, '"')
+}
+
+// fieldNeedsQuotes mirrors encoding/csv's rule for a comma separator
+// without CRLF line endings.
+func fieldNeedsQuotes(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s == `\.` {
+		return true
+	}
+	if strings.ContainsAny(s, ",\"\r\n") {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(s)
+	return unicode.IsSpace(r)
 }
 
 // csvSource lazily parses rows from a reader.
@@ -92,6 +142,9 @@ type csvSource struct {
 // row-numbered error available via Err.
 func NewCSVSource(r io.Reader) (Source, error) {
 	cr := csv.NewReader(r)
+	// Rows are parsed field-by-field into a fresh task before the next
+	// Read, so the reader can safely reuse its record slice.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
@@ -157,8 +210,13 @@ func parseRecord(rec []string) (*task.Task, error) {
 	}
 	t := task.New(id, simtime.Time(arrUS)*time.Microsecond, time.Duration(svcUS)*time.Microsecond)
 	t.App = rec[1]
+	// Walk the op list with Cut instead of Split to avoid allocating a
+	// slice per row on the import hot path. An empty element (including
+	// one left by a trailing ';') is rejected exactly as Split-based
+	// parsing did.
 	if ops := rec[4]; ops != "" {
-		for _, pair := range strings.Split(ops, ";") {
+		for {
+			pair, rest, found := strings.Cut(ops, ";")
 			at, dur, ok := strings.Cut(pair, ":")
 			if !ok {
 				return nil, fmt.Errorf("bad io op %q", pair)
@@ -169,6 +227,10 @@ func parseRecord(rec []string) (*task.Task, error) {
 				return nil, fmt.Errorf("bad io op %q", pair)
 			}
 			t.WithIO(time.Duration(atUS)*time.Microsecond, time.Duration(durUS)*time.Microsecond)
+			if !found {
+				break
+			}
+			ops = rest
 		}
 	}
 	if err := t.Validate(); err != nil {

@@ -111,6 +111,34 @@ func CloneTask(t *task.Task) *task.Task {
 	return n
 }
 
+// CloneTasks deep-copies a whole task slice the way CloneTask does, but
+// block-allocates: one backing array for all task structs and one for
+// all I/O ops, instead of 2N individual allocations. Replay paths that
+// clone a materialized workload per run (benchmarks, experiment sweeps)
+// use this to keep per-run allocation cost flat.
+func CloneTasks(tasks []*task.Task) []*task.Task {
+	nIO := 0
+	for _, t := range tasks {
+		nIO += len(t.IOOps)
+	}
+	block := make([]task.Task, len(tasks))
+	ioBlock := make([]task.IOOp, 0, nIO)
+	out := make([]*task.Task, len(tasks))
+	for i, t := range tasks {
+		n := &block[i]
+		*n = *task.New(t.ID, t.Arrival, t.Service)
+		n.App = t.App
+		n.Weight = t.Weight
+		if len(t.IOOps) > 0 {
+			start := len(ioBlock)
+			ioBlock = append(ioBlock, t.IOOps...)
+			n.IOOps = ioBlock[start : start+len(t.IOOps) : start+len(t.IOOps)]
+		}
+		out[i] = n
+	}
+	return out
+}
+
 // Collect drains a source into a slice. Use trace.Err afterwards when
 // the source can fail mid-stream.
 func Collect(src Source) []*task.Task {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/csv"
 	"strings"
 	"testing"
 	"time"
@@ -240,6 +241,72 @@ func TestCombinatorsPropagateErr(t *testing.T) {
 		}
 		if Err(src) == nil {
 			t.Fatalf("%s swallowed the mid-stream failure", name)
+		}
+	}
+}
+
+// TestCSVQuotedAppRoundTrip: the hand-rolled CSV encoder must quote
+// awkward app names exactly as encoding/csv would, and they must
+// survive a round trip.
+func TestCSVQuotedAppRoundTrip(t *testing.T) {
+	mk := func() []*task.Task {
+		a := task.New(0, 0, time.Millisecond)
+		a.App = `weird,app "v2"`
+		b := task.New(1, time.Millisecond, 2*time.Millisecond)
+		b.App = "plain"
+		return []*task.Task{a, b}
+	}
+
+	var hand bytes.Buffer
+	if _, err := WriteCSV(&hand, FromTasks("quoted", mk())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference encoding via encoding/csv over the same logical rows.
+	var ref bytes.Buffer
+	cw := csv.NewWriter(&ref)
+	_ = cw.Write([]string{"id", "app", "arrival_us", "service_us", "io_ops"})
+	_ = cw.Write([]string{"0", `weird,app "v2"`, "0", "1000", ""})
+	_ = cw.Write([]string{"1", "plain", "1000", "2000", ""})
+	cw.Flush()
+	if hand.String() != ref.String() {
+		t.Fatalf("hand-rolled encoding diverges from encoding/csv:\n%q\nvs\n%q", hand.String(), ref.String())
+	}
+
+	back, err := ReadCSV(bytes.NewReader(hand.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].App != `weird,app "v2"` || back[1].App != "plain" {
+		t.Fatalf("round trip mangled app names: %+v", back)
+	}
+}
+
+// TestCSVFieldQuotingMatchesEncodingCSV: appendField's quoting decision
+// must agree with encoding/csv for every edge the standard library
+// special-cases (separators, quotes, newlines, leading whitespace, the
+// `\.` marker).
+func TestCSVFieldQuotingMatchesEncodingCSV(t *testing.T) {
+	for _, app := range []string{
+		"plain", "with,comma", `with"quote`, "with\nnewline", "with\rcr",
+		" leading-space", "\tleading-tab", `\.`, "trailing-space ", "",
+	} {
+		tk := task.New(0, 0, time.Millisecond)
+		tk.App = app
+
+		var hand bytes.Buffer
+		if _, err := WriteCSV(&hand, FromTasks("q", []*task.Task{tk})); err != nil {
+			t.Fatalf("app %q: %v", app, err)
+		}
+
+		var ref bytes.Buffer
+		cw := csv.NewWriter(&ref)
+		_ = cw.Write([]string{"id", "app", "arrival_us", "service_us", "io_ops"})
+		_ = cw.Write([]string{"0", app, "0", "1000", ""})
+		cw.Flush()
+
+		if hand.String() != ref.String() {
+			t.Errorf("app %q: hand-rolled %q != encoding/csv %q", app, hand.String(), ref.String())
 		}
 	}
 }

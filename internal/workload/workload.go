@@ -436,11 +436,7 @@ func Generate(spec Spec) *Workload {
 // reset, so the same invocation stream can be replayed under multiple
 // schedulers.
 func (w *Workload) Clone() []*task.Task {
-	out := make([]*task.Task, len(w.Tasks))
-	for i, t := range w.Tasks {
-		out[i] = trace.CloneTask(t)
-	}
-	return out
+	return trace.CloneTasks(w.Tasks)
 }
 
 // Source returns the workload as a replayable trace.Source: each pull
