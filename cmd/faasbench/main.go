@@ -9,6 +9,8 @@
 //	faasbench replay  -in out.csv [flags]  # replay a CSV trace in the simulator
 //	faasbench cluster [flags]              # fan a trace across -hosts simulated
 //	                                       # hosts behind a -dispatch policy
+//	faasbench chain   [flags]              # expand each request into a -family
+//	                                       # workflow and report end-to-end stats
 //
 // Scenario families (-arrivals):
 //
@@ -28,6 +30,8 @@
 //	faasbench cluster -hosts 4 -host-cores 8 -dispatch PULL -sched SFS -arrivals trace
 //	faasbench cluster -in ramp.csv -hosts 2 -host-cores 16 -dispatch JSQ
 //	faasbench cluster -hosts 4 -dispatch WARMFIRST -keepalive TTL -memory 1024 -arrivals trace
+//	faasbench chain -family LINEAR -depth 4 -sched SFS -arrivals trace -load 0.9
+//	faasbench chain -family DIAMOND -sched CFS -keepalive HIST -memory 2048
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
@@ -108,8 +113,10 @@ func main() {
 		cmdReplay(args)
 	case "cluster":
 		cmdCluster(args)
+	case "chain":
+		cmdChain(args)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want gen, export, replay, or cluster)\n", cmd)
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want gen, export, replay, cluster, or chain)\n", cmd)
 		os.Exit(1)
 	}
 }
@@ -395,6 +402,72 @@ func cmdCluster(args []string) {
 	for _, bound := range []float64{0.5, 0.95} {
 		fmt.Printf("RTE >= %.2f: %.1f%% of requests\n", bound, 100*res.Merged.FractionRTEAtLeast(bound))
 	}
+}
+
+// cmdChain expands every generated request into a workflow of the
+// selected family and simulates it on one host, reporting per-stage
+// percentiles alongside per-workflow end-to-end turnaround and slowdown
+// — the metric per-invocation tables cannot show. The generated load is
+// divided by the chain's stage count so the whole chain offers the
+// requested -load.
+func cmdChain(args []string) {
+	g := newGenFlags("chain")
+	family := g.fs.String("family", "LINEAR", "workflow family: "+strings.Join(chain.FamilyNames(), ", "))
+	depth := g.fs.Int("depth", 3, "workflow scale: LINEAR stages / DIAMOND branches")
+	schedName := g.fs.String("sched", "SFS", "scheduler: "+strings.Join(schedulers.Names(), ", "))
+	ka := newKAFlags(g.fs)
+	g.fs.Parse(args)
+	ka.validate()
+
+	spec, err := chain.NewFamily(*family, chain.FamilyConfig{Depth: *depth})
+	if err != nil {
+		fatal(err)
+	}
+	// Stages inherit each request's sampled service, so the chain
+	// multiplies per-request CPU demand by the stage count; recalibrate
+	// the calibrated families to the whole chain.
+	if *g.arrivals != "synth" {
+		*g.load /= spec.ServiceFactor(0)
+	}
+	src := g.source()
+	inj, err := chain.NewInjector(chain.Config{Default: &spec, Seed: *g.seed})
+	if err != nil {
+		fatal(err)
+	}
+	s := mkScheduler(*schedName)
+	eng := cpusim.NewEngine(cpusim.Config{Cores: *g.cores, Deadline: 10000 * time.Hour}, s)
+	var mgr *lifecycle.Manager
+	if ka.enabled() {
+		mgr = ka.newManager(*g.seed)
+	}
+	start := time.Now()
+	makespan, err := chain.Run(src, inj, mgr, eng)
+	if err != nil {
+		fatal(err)
+	}
+	tasks := eng.Tasks()
+	if len(tasks) == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
+
+	fmt.Printf("chained %d invocations (%s depth %d) under %s on %d cores\n",
+		len(tasks), strings.ToUpper(*family), *depth, s.Name(), *g.cores)
+	fmt.Printf("simulated %v of virtual time in %v wall time (%d ctx switches, %.0f%% utilization)\n",
+		makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
+		eng.TotalCtxSwitches, eng.Utilization()*100)
+	if mgr != nil {
+		ka.report(mgr.Stats())
+	}
+	r := metrics.Run{Scheduler: s.Name(), Tasks: tasks}
+	ps := r.Percentiles([]float64{50, 90, 99, 99.9})
+	fmt.Printf("per-stage turnaround: p50=%s p90=%s p99=%s p99.9=%s mean=%s\n",
+		metrics.FormatDuration(ps[0]), metrics.FormatDuration(ps[1]),
+		metrics.FormatDuration(ps[2]), metrics.FormatDuration(ps[3]),
+		metrics.FormatDuration(r.MeanTurnaround()))
+	wfr := metrics.WorkflowRun{Scheduler: s.Name(), Workflows: inj.Workflows()}
+	fmt.Println(wfr.Render())
+	slow := wfr.SlowdownPercentiles(50, 99)
+	fmt.Printf("e2e slowdown: p50=%.2fx p99=%.2fx\n", slow[0], slow[1])
 }
 
 // summarize streams a source once, printing the headline statistics and

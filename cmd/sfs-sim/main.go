@@ -11,6 +11,8 @@
 //	sfs-sim -sched SFS -fixed-slice 100ms -io-fraction 0.75
 //	sfs-sim -hosts 4 -dispatch JSQ -sched SFS -cores 8 -load 0.9
 //	sfs-sim -keepalive HIST -memory 4096 -arrivals trace
+//	sfs-sim -chain LINEAR -chain-depth 4 -sched SFS -load 0.9
+//	sfs-sim -chain DIAMOND -hosts 4 -dispatch WARMFIRST -keepalive TTL
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/core"
 	"github.com/serverless-sched/sfs/internal/cpusim"
@@ -55,6 +58,50 @@ func (k keepaliveOpts) report(st lifecycle.Stats) {
 	fmt.Println(st.Summary(k.policy))
 }
 
+// chainOpts carries the function-chain workflow flags, with the family
+// resolved once up front. A nil spec means plain single-invocation
+// requests.
+type chainOpts struct {
+	family string
+	depth  int
+	seed   uint64
+	spec   *chain.Spec // resolved family; nil when disabled
+}
+
+// resolve validates the family flag and caches its spec. Stages inherit
+// each request's sampled service time, so the chain multiplies the
+// trace's per-request CPU demand by the stage count.
+func (c *chainOpts) resolve() error {
+	if c.family == "" {
+		return nil
+	}
+	spec, err := chain.NewFamily(c.family, chain.FamilyConfig{Depth: c.depth})
+	if err != nil {
+		return err
+	}
+	c.spec = &spec
+	return nil
+}
+
+// enabled reports whether workflow expansion was requested.
+func (c chainOpts) enabled() bool { return c.spec != nil }
+
+// config builds the injector config applying the family to every app in
+// the trace.
+func (c chainOpts) config() chain.Config {
+	return chain.Config{Default: c.spec, Seed: c.seed}
+}
+
+// loadDivisor returns the factor by which the requested offered load is
+// divided before workload generation, so the chain's total CPU demand
+// (every stage, not just the request) offers the asked-for load.
+func (c chainOpts) loadDivisor() float64 {
+	if !c.enabled() {
+		return 1
+	}
+	return c.spec.ServiceFactor(0) // all stages inherit: factor = stage count
+}
+
 func main() {
 	var (
 		schedName  = flag.String("sched", "SFS", "scheduler: "+strings.Join(schedulers.Names(), ", ")+", or IDEAL (single host only)")
@@ -77,6 +124,8 @@ func main() {
 		keepalive  = flag.String("keepalive", "", "container keep-alive policy: "+strings.Join(lifecycle.PolicyNames(), ", ")+" (empty = pre-warmed, no cold starts)")
 		memory     = flag.Int("memory", 0, "container memory capacity in MB per host (0 = unlimited; needs -keepalive)")
 		kaTTL      = flag.Duration("keepalive-ttl", lifecycle.DefaultTTL, "fixed keep-alive window (TTL policy) and HIST fallback")
+		chainName  = flag.String("chain", "", "expand each request into a workflow: "+strings.Join(chain.FamilyNames(), ", ")+" (empty = plain invocations; poisson/trace loads are recalibrated to the whole chain)")
+		chainDepth = flag.Int("chain-depth", 3, "workflow scale: LINEAR stages / DIAMOND branches (needs -chain)")
 	)
 	flag.Parse()
 
@@ -85,6 +134,13 @@ func main() {
 		os.Exit(1)
 	}
 	ka := keepaliveOpts{policy: *keepalive, memory: *memory, ttl: *kaTTL, seed: *seed}
+	ch := chainOpts{family: *chainName, depth: *chainDepth, seed: *seed}
+	// Validate the family name (and cache its spec) before simulating
+	// anything.
+	if err := ch.resolve(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if !ka.enabled() && *memory != 0 {
 		fmt.Fprintln(os.Stderr, "-memory needs -keepalive (pre-warmed runs model no containers)")
 		os.Exit(1)
@@ -111,22 +167,26 @@ func main() {
 			os.Exit(1)
 		}
 		if *hosts > 1 {
-			runCluster(trace.FromTasks(*wlFile, tasks), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka)
+			runCluster(trace.FromTasks(*wlFile, tasks), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
 			return
 		}
-		runReplay(tasks, *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka)
+		runReplay(tasks, *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
 		return
 	}
 
+	// With -chain, the offered load is recalibrated to the whole chain's
+	// CPU demand (stage count x per-request demand) for the calibrated
+	// arrival families; synth arrivals follow their explicit RPS profile.
+	genLoad := *load / ch.loadDivisor()
 	var w *workload.Workload
 	switch *arrivals {
 	case "poisson":
 		w = workload.Generate(workload.Spec{
-			N: *n, Cores: totalCores, Load: *load, Seed: *seed, IOFraction: *ioFraction,
+			N: *n, Cores: totalCores, Load: genLoad, Seed: *seed, IOFraction: *ioFraction,
 		})
 	case "trace":
 		w = workload.AzureSampled(workload.AzureSampledSpec{
-			N: *n, Cores: totalCores, Load: *load, Seed: *seed, IOFraction: *ioFraction,
+			N: *n, Cores: totalCores, Load: genLoad, Seed: *seed, IOFraction: *ioFraction,
 		})
 	case "synth":
 		w = workload.Synthetic(workload.SyntheticSpec{
@@ -139,12 +199,21 @@ func main() {
 	}
 	fmt.Printf("workload: %s (mean service %v, mean IAT %v, offered load %.2f)\n",
 		w.Description, w.MeanService, w.MeanIAT, w.OfferedLoad(totalCores))
+	if ch.enabled() {
+		if *arrivals == "synth" {
+			fmt.Printf("chain: %s depth %d applied to every request (synth follows its RPS profile; no load recalibration)\n",
+				strings.ToUpper(ch.family), ch.depth)
+		} else {
+			fmt.Printf("chain: %s depth %d applied to every request (per-request load divided by %.0f)\n",
+				strings.ToUpper(ch.family), ch.depth, ch.loadDivisor())
+		}
+	}
 
 	if *hosts > 1 {
-		runCluster(w.Source(), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka)
+		runCluster(w.Source(), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
 		return
 	}
-	runReplay(w.Clone(), *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka)
+	runReplay(w.Clone(), *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
 }
 
 // mkFactory builds the per-host scheduler constructor for cluster mode,
@@ -173,7 +242,7 @@ func mkFactory(schedName string, fixedSlice, poll time.Duration, noHybrid, noIO 
 
 // runCluster simulates the source across hosts behind the named
 // dispatch policy and reports merged plus per-host metrics.
-func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, seed uint64, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts) {
+func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, seed uint64, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts, ch chainOpts) {
 	factory, err := mkFactory(schedName, fixedSlice, poll, noHybrid, noIO)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -199,6 +268,10 @@ func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, 
 			return m
 		}
 	}
+	if ch.enabled() {
+		ccfg := ch.config()
+		cfg.Chain = &ccfg
+	}
 	cl, err := cluster.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -217,12 +290,15 @@ func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, 
 	if ka.enabled() {
 		ka.report(res.Lifecycle)
 	}
+	if ch.enabled() {
+		fmt.Println(res.Workflows.Render())
+	}
 	fmt.Println()
 	report(res.Merged, nil, res.Makespan, nil)
 }
 
 // runReplay simulates tasks under the named scheduler and reports.
-func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts) {
+func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts, ch chainOpts) {
 	var sfs *core.SFS
 	var s cpusim.Scheduler
 	switch strings.ToUpper(schedName) {
@@ -235,11 +311,12 @@ func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll
 		sfs = core.New(cfg)
 		s = sfs
 	case "IDEAL":
-		if ka.enabled() {
+		if ka.enabled() || ch.enabled() {
 			// IDEAL is the analytic zero-interference oracle; silently
-			// dropping cold starts would make baseline comparisons
-			// unfair, so refuse rather than ignore the flag.
-			fmt.Fprintln(os.Stderr, "-keepalive is not supported with -sched IDEAL (the oracle models no containers)")
+			// dropping cold starts or chain expansion would make
+			// baseline comparisons unfair, so refuse rather than ignore
+			// the flags.
+			fmt.Fprintln(os.Stderr, "-keepalive and -chain are not supported with -sched IDEAL (the oracle models no containers or workflows)")
 			os.Exit(1)
 		}
 		sched.RunIdeal(tasks)
@@ -263,12 +340,28 @@ func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	var inj *chain.Injector
+	switch {
+	case ch.enabled():
+		var err error
+		if inj, err = chain.NewInjector(ch.config()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if makespan, err = chain.Run(trace.FromTasks("replay", tasks), inj, mgr, eng); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tasks = eng.Tasks()
+	case mgr != nil:
+		var err error
 		if makespan, err = lifecycle.Run(trace.FromTasks("replay", tasks), mgr, eng); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		tasks = eng.Tasks()
-	} else {
+	default:
 		eng.Submit(tasks...)
 		makespan = eng.Run()
 	}
@@ -277,6 +370,9 @@ func runReplay(tasks []*task.Task, schedName string, cores int, fixedSlice, poll
 		eng.TotalCtxSwitches, eng.Utilization()*100)
 	if mgr != nil {
 		ka.report(mgr.Stats())
+	}
+	if inj != nil {
+		fmt.Println(metrics.WorkflowRun{Scheduler: s.Name(), Workflows: inj.Workflows()}.Render())
 	}
 	report(metrics.Run{Scheduler: s.Name(), Tasks: tasks}, eng, makespan, sfs)
 }

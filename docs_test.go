@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/schedulers"
@@ -34,6 +35,7 @@ func TestREADMEListsRegistries(t *testing.T) {
 		{"scheduler", schedulers.Names()},
 		{"dispatch policy", cluster.Names()},
 		{"keep-alive policy", lifecycle.PolicyNames()},
+		{"workflow family", chain.FamilyNames()},
 	} {
 		for _, n := range group.names {
 			if !strings.Contains(readme, n) {
@@ -55,6 +57,8 @@ func TestGuideCoversCoreTasks(t *testing.T) {
 		"-keepalive",
 		"-id keepalive",
 		"-dispatch",
+		"-chain",
+		"-id chain-slowdown",
 	} {
 		if !strings.Contains(guide, want) {
 			t.Errorf("docs/GUIDE.md does not cover %q", want)
@@ -63,6 +67,11 @@ func TestGuideCoversCoreTasks(t *testing.T) {
 	for _, n := range lifecycle.PolicyNames() {
 		if !strings.Contains(guide, n) {
 			t.Errorf("docs/GUIDE.md does not mention keep-alive policy %q", n)
+		}
+	}
+	for _, n := range chain.FamilyNames() {
+		if !strings.Contains(guide, n) {
+			t.Errorf("docs/GUIDE.md does not mention workflow family %q", n)
 		}
 	}
 	// And the README must point readers at the guide.
@@ -79,8 +88,10 @@ func TestArchitectureCoversThirdRegistry(t *testing.T) {
 		"internal/schedulers",
 		"internal/cluster/dispatch.go",
 		"internal/lifecycle/policy.go",
+		"internal/chain/family.go",
 		"keep-alive",
 		"lifecycle",
+		"workflow",
 	} {
 		if !strings.Contains(arch, want) {
 			t.Errorf("docs/ARCHITECTURE.md does not cover %q", want)

@@ -1,0 +1,377 @@
+// Package chain is the function-chain workflow layer: real serverless
+// applications are rarely single invocations — a request fans through a
+// chain (or DAG) of functions, and the end-to-end response time the
+// user sees is the composition of every stage's queueing delay. The
+// paper evaluates per-invocation metrics; this layer measures how the
+// scheduler's per-stage wins (or losses) compound across stages, the
+// regime data-driven serverless scheduling targets (Przybylski et al.)
+// and where wrong decisions are most costly under bursty load (Kaffes
+// et al.).
+//
+// A workflow Spec is a DAG of Stages declared per application: when a
+// request for that application arrives, every stage's payload is
+// sampled up front (from internal/dist, in stage order, so sampling
+// never depends on scheduling), the root stages are released at the
+// request's arrival, and each completion releases the downstream stages
+// whose dependencies are all met — fan-out when several stages depend
+// on one, fan-in when one stage depends on several. The Injector is the
+// driver-facing state machine: Expand turns a request into its root
+// stage tasks, OnFinish turns a completion into the stage tasks it
+// releases, and Workflows reports per-workflow end-to-end turnaround
+// and slowdown (internal/metrics.Workflow).
+//
+// Determinism: an Injector is a deterministic function of its Config
+// and the sequence of Expand/OnFinish calls. Drivers issue those calls
+// in simulation order — chain.Run, internal/cluster, and internal/faas
+// all process completions before same-instant arrivals — so the same
+// seed and chain spec replay byte-identically, standalone or across a
+// cluster.
+package chain
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/rng"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// Stage is one function of a workflow DAG.
+type Stage struct {
+	// Name labels the stage's invocations (their task App, which is
+	// also the warm-pool key in internal/lifecycle). Empty derives
+	// "<requestApp>#<index>", so one Spec can serve many applications.
+	Name string
+	// Service samples the stage's CPU demand per workflow instance. Nil
+	// inherits the triggering request's service time, so chains built
+	// from nil-Service stages replay the request's sampled payload at
+	// every stage.
+	Service dist.Distribution
+	// Deps are the upstream stage indices that must all complete before
+	// this stage is released. Each must be smaller than the stage's own
+	// index (edges point forward), which makes every Spec acyclic by
+	// construction. An empty Deps marks a root stage, released at the
+	// request's arrival.
+	Deps []int
+}
+
+// Spec is a workflow: a DAG of stages in topological order.
+type Spec struct {
+	Stages []Stage
+}
+
+// Validate checks the spec's structural invariants: at least one stage,
+// and only forward, non-duplicate dependency edges.
+func (s Spec) Validate() error {
+	if len(s.Stages) == 0 {
+		return fmt.Errorf("chain: spec needs at least one stage")
+	}
+	for i, st := range s.Stages {
+		seen := map[int]bool{}
+		for _, d := range st.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("chain: stage %d depends on %d; edges must point forward (dep < stage)", i, d)
+			}
+			if seen[d] {
+				return fmt.Errorf("chain: stage %d lists dependency %d twice", i, d)
+			}
+			seen[d] = true
+		}
+	}
+	return nil
+}
+
+// ServiceFactor returns the chain's mean total CPU demand as a multiple
+// of the triggering request's mean service time: nil-Service stages
+// contribute 1x, sampled stages contribute Mean()/rootMean. Load
+// calibration divides a per-request offered load by this factor so a
+// chain workload offers the requested load in aggregate.
+func (s Spec) ServiceFactor(rootMean time.Duration) float64 {
+	f := 0.0
+	for _, st := range s.Stages {
+		if st.Service == nil || rootMean <= 0 {
+			f++
+			continue
+		}
+		f += float64(st.Service.Mean()) / float64(rootMean)
+	}
+	return f
+}
+
+// String implements fmt.Stringer with the spec's shape.
+func (s Spec) String() string {
+	edges := 0
+	for _, st := range s.Stages {
+		edges += len(st.Deps)
+	}
+	return fmt.Sprintf("chain(%d stages, %d edges)", len(s.Stages), edges)
+}
+
+// Config assembles an Injector.
+type Config struct {
+	// Specs maps request application names to their workflows. Requests
+	// for unlisted applications pass through as plain invocations.
+	Specs map[string]Spec
+	// Default, when non-nil, applies to every application without a
+	// Specs entry — how the CLIs chain an entire trace behind one
+	// -chain flag.
+	Default *Spec
+	// Seed drives stage payload sampling.
+	Seed uint64
+	// Hop, when non-nil, samples a per-release dispatch delay added to
+	// each downstream stage's arrival — the platform cost of the
+	// internal invocation hop (internal/faas wires its worker+sandbox
+	// overheads here). Nil models free internal dispatch, the simulator
+	// default.
+	Hop func() time.Duration
+}
+
+// stageIDBase is the first task ID the Injector assigns to sampled
+// stage tasks. Root stages keep their request's ID; the high range
+// keeps injected IDs disjoint from any realistic trace's IDs.
+const stageIDBase = 1 << 30
+
+// compiled is a validated spec plus its downstream adjacency.
+type compiled struct {
+	spec     Spec
+	children [][]int // children[i] = stages that list i in Deps
+}
+
+func compile(spec Spec) (*compiled, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &compiled{spec: spec, children: make([][]int, len(spec.Stages))}
+	for i, st := range spec.Stages {
+		for _, d := range st.Deps {
+			c.children[d] = append(c.children[d], i)
+		}
+	}
+	return c, nil
+}
+
+// instance is one in-flight workflow.
+type instance struct {
+	c         *compiled
+	wf        metrics.Workflow
+	tasks     []*task.Task
+	waiting   []int // unfinished dependency count per stage
+	remaining int
+	last      *task.Task // last-finishing stage task, set at completion
+}
+
+// stageRef locates a task inside its workflow.
+type stageRef struct {
+	inst  *instance
+	stage int
+}
+
+// Injector is the workflow state machine one simulation run drives. It
+// is single-use and not safe for concurrent use; drivers call Expand
+// for requests and OnFinish for completions in simulation order.
+type Injector struct {
+	cfg       Config
+	specs     map[string]*compiled
+	def       *compiled
+	r         *rng.RNG
+	nextID    int
+	byTask    map[*task.Task]stageRef
+	instances []*instance
+	pending   int
+}
+
+// NewInjector validates every spec and builds the injector.
+func NewInjector(cfg Config) (*Injector, error) {
+	in := &Injector{
+		cfg:    cfg,
+		specs:  map[string]*compiled{},
+		r:      rng.New(cfg.Seed ^ 0xc4a1),
+		nextID: stageIDBase,
+		byTask: map[*task.Task]stageRef{},
+	}
+	for app, spec := range cfg.Specs {
+		c, err := compile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%w (app %q)", err, app)
+		}
+		in.specs[app] = c
+	}
+	if cfg.Default != nil {
+		c, err := compile(*cfg.Default)
+		if err != nil {
+			return nil, fmt.Errorf("%w (default spec)", err)
+		}
+		in.def = c
+	}
+	return in, nil
+}
+
+// lookup resolves the workflow spec for a request app (nil = plain
+// invocation).
+func (in *Injector) lookup(app string) *compiled {
+	if c, ok := in.specs[app]; ok {
+		return c
+	}
+	return in.def
+}
+
+// Chained reports whether requests for app expand into a workflow.
+func (in *Injector) Chained(app string) bool { return in.lookup(app) != nil }
+
+// Expand consumes one request invocation. For an application with a
+// registered spec it instantiates the workflow — sampling every stage's
+// payload now, in stage order, so the sample stream depends only on
+// request order — and returns the root stage tasks, all arriving at the
+// request's arrival time (the request task itself becomes stage 0).
+// Requests for unregistered applications are returned unchanged and
+// untracked. Drivers must call Expand in arrival order.
+func (in *Injector) Expand(t *task.Task) []*task.Task {
+	c := in.lookup(t.App)
+	if c == nil {
+		return []*task.Task{t}
+	}
+
+	reqApp, reqService := t.App, t.Service
+	inst := &instance{
+		c: c,
+		wf: metrics.Workflow{
+			ID:      t.ID,
+			App:     reqApp,
+			Stages:  len(c.spec.Stages),
+			Arrival: t.Arrival,
+			Finish:  -1,
+		},
+		tasks:     make([]*task.Task, len(c.spec.Stages)),
+		waiting:   make([]int, len(c.spec.Stages)),
+		remaining: len(c.spec.Stages),
+	}
+
+	var roots []*task.Task
+	longest := make([]time.Duration, len(c.spec.Stages))
+	for i, sg := range c.spec.Stages {
+		svc := reqService
+		if sg.Service != nil {
+			if svc = sg.Service.Sample(in.r); svc <= 0 {
+				svc = time.Millisecond
+			}
+		}
+		var st *task.Task
+		if i == 0 {
+			// The request task is stage 0: it keeps its ID (the
+			// workflow's ID) and, when the stage inherits its service,
+			// its I/O profile.
+			st = t
+			if sg.Service != nil {
+				st.Service = svc
+				st.IOOps = nil // sampled payloads replace the request's I/O shape
+			}
+		} else {
+			st = task.New(in.nextID, t.Arrival, svc)
+			in.nextID++
+			st.Weight = t.Weight
+		}
+		st.App = sg.Name
+		if st.App == "" {
+			st.App = fmt.Sprintf("%s#%d", reqApp, i)
+		}
+		inst.tasks[i] = st
+		inst.waiting[i] = len(sg.Deps)
+		in.byTask[st] = stageRef{inst: inst, stage: i}
+		if len(sg.Deps) == 0 {
+			roots = append(roots, st)
+		}
+
+		// Critical path: a stage's earliest uncontended completion is
+		// its own ideal duration after its slowest dependency.
+		longest[i] = st.IdealDuration()
+		for _, d := range sg.Deps {
+			if longest[d]+st.IdealDuration() > longest[i] {
+				longest[i] = longest[d] + st.IdealDuration()
+			}
+		}
+		if longest[i] > inst.wf.Ideal {
+			inst.wf.Ideal = longest[i]
+		}
+	}
+	in.instances = append(in.instances, inst)
+	in.pending++
+	return roots
+}
+
+// OnFinish records a completed invocation at its Finish time and
+// returns the downstream stage tasks it releases, each arriving at the
+// completion instant (plus the configured Hop delay). It is safe to
+// call for tasks that are not chain stages (returns nil). The last
+// completion of a workflow seals its end-to-end result.
+func (in *Injector) OnFinish(t *task.Task) []*task.Task {
+	ref, ok := in.byTask[t]
+	if !ok {
+		return nil
+	}
+	delete(in.byTask, t)
+	inst := ref.inst
+	inst.remaining--
+	if inst.remaining == 0 {
+		inst.wf.Finish = t.Finish
+		inst.last = t
+		in.pending--
+	}
+	var released []*task.Task
+	for _, s := range inst.c.children[ref.stage] {
+		inst.waiting[s]--
+		if inst.waiting[s] > 0 {
+			continue
+		}
+		at := t.Finish
+		if in.cfg.Hop != nil {
+			at += in.cfg.Hop()
+		}
+		inst.tasks[s].Arrival = at
+		released = append(released, inst.tasks[s])
+	}
+	return released
+}
+
+// Pending returns the number of workflows with unfinished stages.
+func (in *Injector) Pending() int { return in.pending }
+
+// Len returns the number of workflows instantiated so far (finished or
+// not) — the index domain of Final, AdjustFinish, and AdjustArrival.
+func (in *Injector) Len() int { return len(in.instances) }
+
+// Workflows returns every workflow's end-to-end result in request
+// arrival order (unfinished workflows report Finish -1).
+func (in *Injector) Workflows() []metrics.Workflow {
+	out := make([]metrics.Workflow, len(in.instances))
+	for i, inst := range in.instances {
+		out[i] = inst.wf
+	}
+	return out
+}
+
+// Final returns workflow i's last-finishing stage task, or nil while
+// the workflow is unfinished. internal/faas uses it to charge the
+// response path to the stage that actually returns to the caller.
+func (in *Injector) Final(i int) *task.Task { return in.instances[i].last }
+
+// AdjustFinish shifts workflow i's recorded end-to-end finish by d —
+// the hook internal/faas uses to append the platform's response-path
+// overhead after the simulation completes. A no-op on unfinished
+// workflows.
+func (in *Injector) AdjustFinish(i int, d time.Duration) {
+	if in.instances[i].wf.Finish >= 0 {
+		in.instances[i].wf.Finish += d
+	}
+}
+
+// AdjustArrival shifts workflow i's recorded request arrival by d (the
+// faas pre-overhead restoration, mirroring what RunTrace does to task
+// arrivals).
+func (in *Injector) AdjustArrival(i int, d time.Duration) {
+	in.instances[i].wf.Arrival += d
+}
+
+// RootID returns workflow i's triggering request ID.
+func (in *Injector) RootID(i int) int { return in.instances[i].wf.ID }

@@ -1,0 +1,58 @@
+package chain_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/chain"
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
+)
+
+// ExampleRun executes one fan-out/fan-in workflow on an idle FIFO
+// host: the entry stage releases two parallel branches, the join fires
+// when the slower branch completes, and the end-to-end result measures
+// the critical path.
+func ExampleRun() {
+	spec := chain.Spec{Stages: []chain.Stage{
+		{Name: "entry", Service: dist.Constant{Value: 10 * time.Millisecond}},
+		{Name: "fast", Service: dist.Constant{Value: 5 * time.Millisecond}, Deps: []int{0}},
+		{Name: "slow", Service: dist.Constant{Value: 20 * time.Millisecond}, Deps: []int{0}},
+		{Name: "join", Service: dist.Constant{Value: 5 * time.Millisecond}, Deps: []int{1, 2}},
+	}}
+	inj, err := chain.NewInjector(chain.Config{Specs: map[string]chain.Spec{"wf": spec}})
+	if err != nil {
+		panic(err)
+	}
+
+	req := task.New(0, 0, time.Millisecond)
+	req.App = "wf"
+	eng := cpusim.NewEngine(cpusim.Config{Cores: 4}, sched.NewFIFO())
+	if _, err := chain.Run(trace.FromTasks("example", []*task.Task{req}), inj, nil, eng); err != nil {
+		panic(err)
+	}
+
+	w := inj.Workflows()[0]
+	fmt.Printf("stages %d, critical path %v, end-to-end %v (slowdown %.1fx)\n",
+		w.Stages, w.Ideal, w.Turnaround(), w.Slowdown())
+	// Output:
+	// stages 4, critical path 35ms, end-to-end 35ms (slowdown 1.0x)
+}
+
+// ExampleNewFamily selects a workflow shape from the family registry —
+// the same name → constructor pattern the scheduler, dispatcher, and
+// keep-alive registries use.
+func ExampleNewFamily() {
+	spec, err := chain.NewFamily("diamond", chain.FamilyConfig{Depth: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(spec)
+	fmt.Println(chain.FamilyNames())
+	// Output:
+	// chain(6 stages, 8 edges)
+	// [LINEAR DIAMOND]
+}

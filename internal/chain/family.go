@@ -1,0 +1,93 @@
+package chain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+)
+
+// FamilyConfig carries the construction parameters of a named workflow
+// family, mirroring the scheduler/dispatcher/keep-alive registries'
+// factory configs.
+type FamilyConfig struct {
+	// Depth scales the family: LINEAR chains Depth stages; DIAMOND fans
+	// out to Depth parallel branches between an entry and a join stage.
+	// Non-positive defaults to 3.
+	Depth int
+	// Service samples each stage's payload; nil inherits the triggering
+	// request's service time (every stage replays the request's sampled
+	// duration).
+	Service dist.Distribution
+}
+
+func (cfg FamilyConfig) depth() int {
+	if cfg.Depth <= 0 {
+		return 3
+	}
+	return cfg.Depth
+}
+
+// Linear returns a depth-stage linear chain: stage i runs after stage
+// i-1, the canonical sequential workflow.
+func Linear(cfg FamilyConfig) Spec {
+	depth := cfg.depth()
+	s := Spec{Stages: make([]Stage, depth)}
+	for i := range s.Stages {
+		s.Stages[i] = Stage{Service: cfg.Service}
+		if i > 0 {
+			s.Stages[i].Deps = []int{i - 1}
+		}
+	}
+	return s
+}
+
+// Diamond returns a fan-out/fan-in DAG: an entry stage releases Depth
+// parallel branches, and a join stage runs once every branch completes
+// (Depth+2 stages in total).
+func Diamond(cfg FamilyConfig) Spec {
+	width := cfg.depth()
+	s := Spec{Stages: make([]Stage, width+2)}
+	s.Stages[0] = Stage{Service: cfg.Service}
+	joinDeps := make([]int, width)
+	for i := 0; i < width; i++ {
+		s.Stages[1+i] = Stage{Service: cfg.Service, Deps: []int{0}}
+		joinDeps[i] = 1 + i
+	}
+	s.Stages[width+1] = Stage{Service: cfg.Service, Deps: joinDeps}
+	return s
+}
+
+// constructors maps canonical names to family constructors — the fourth
+// name → constructor registry alongside internal/schedulers,
+// internal/cluster, and internal/lifecycle, so the CLIs select workflow
+// shapes by flag without the recognized set drifting between tools.
+var constructors = map[string]func(cfg FamilyConfig) Spec{
+	"LINEAR":  Linear,
+	"DIAMOND": Diamond,
+}
+
+// names in presentation order.
+var names = []string{"LINEAR", "DIAMOND"}
+
+// FamilyNames returns the canonical workflow family names NewFamily
+// recognizes.
+func FamilyNames() []string { return append([]string(nil), names...) }
+
+// NewFamily constructs a workflow spec by case-insensitive family name.
+func NewFamily(name string, cfg FamilyConfig) (Spec, error) {
+	mk, ok := constructors[strings.ToUpper(name)]
+	if !ok {
+		return Spec{}, fmt.Errorf("unknown workflow family %q (want one of %s)", name, strings.Join(names, ", "))
+	}
+	return mk(cfg), nil
+}
+
+// sortedFamilyNames is used by tests to compare registries without
+// caring about presentation order.
+func sortedFamilyNames() []string {
+	out := FamilyNames()
+	sort.Strings(out)
+	return out
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
@@ -63,6 +64,13 @@ type Config struct {
 	// each host's warm pool through Host.Warm. Nil models the paper's
 	// pre-warmed setup with no cold starts.
 	NewLifecycle func() *lifecycle.Manager
+	// Chain, when non-nil, expands requests into function-chain
+	// workflows (internal/chain): root stages dispatch at the request's
+	// arrival, and each completion releases its downstream stages back
+	// through the dispatcher — so successive stages may land on
+	// different hosts (and, with NewLifecycle set, hit per-host warm
+	// pools). Per-workflow end-to-end results land in Result.Workflows.
+	Chain *chain.Config
 }
 
 // host pairs one engine with its dispatch accounting and (optionally)
@@ -135,6 +143,9 @@ type Result struct {
 	// Lifecycle merges every host's container warm-pool counters (zero
 	// when Config.NewLifecycle was nil).
 	Lifecycle lifecycle.Stats
+	// Workflows holds per-workflow end-to-end results when Config.Chain
+	// was set (empty otherwise).
+	Workflows metrics.WorkflowRun
 	// Aborted reports that the run ended with unfinished work: a
 	// deadline abort, or a host left stranded with pending tasks and no
 	// future events (a scheduler that parked work without re-arming).
@@ -184,6 +195,7 @@ type Cluster struct {
 	cfg   Config
 	hosts []*host
 	views []Host
+	inj   *chain.Injector // nil unless Config.Chain was set
 }
 
 // New validates the config and builds the cluster's hosts.
@@ -201,6 +213,13 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: Dispatcher is required")
 	}
 	c := &Cluster{cfg: cfg}
+	if cfg.Chain != nil {
+		inj, err := chain.NewInjector(*cfg.Chain)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.inj = inj
+	}
 	for i := 0; i < cfg.Hosts; i++ {
 		h := &host{idx: i, eng: cpusim.NewEngine(cpusim.Config{
 			Cores:         cfg.CoresPerHost,
@@ -235,19 +254,29 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 	)
 
 	// owner remembers which container each in-flight invocation holds,
-	// so host completion events can release it back to the warm pool.
+	// so host completion events can release it back to the warm pool;
+	// finished collects completions for the chain injector, which may
+	// release downstream stages back through the dispatcher.
 	var owner map[*task.Task]*lifecycle.Container
-	if c.cfg.NewLifecycle != nil {
-		owner = map[*task.Task]*lifecycle.Container{}
+	var finished []*task.Task
+	if c.cfg.NewLifecycle != nil || c.inj != nil {
+		if c.cfg.NewLifecycle != nil {
+			owner = map[*task.Task]*lifecycle.Container{}
+		}
 		for _, h := range c.hosts {
 			h := h
 			h.eng.SetTracer(func(ev cpusim.TraceEvent) {
 				if ev.Kind != cpusim.TraceFinish {
 					return
 				}
-				if cont := owner[ev.Task]; cont != nil {
-					h.mgr.Release(ev.At, cont)
-					delete(owner, ev.Task)
+				if owner != nil {
+					if cont := owner[ev.Task]; cont != nil {
+						h.mgr.Release(ev.At, cont)
+						delete(owner, ev.Task)
+					}
+				}
+				if c.inj != nil {
+					finished = append(finished, ev.Task)
 				}
 			})
 		}
@@ -322,6 +351,20 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 		}
 	}
 
+	// admit registers an invocation arriving at `at` and offers it to
+	// the dispatcher, parking it behind any already-held work so nothing
+	// overtakes the central queue's FIFO order.
+	admit := func(t *task.Task, at simtime.Time) {
+		records = append(records, record{t: t, orig: t.Arrival, host: Hold, at: -1})
+		ri := len(records) - 1
+		if len(central) > 0 || !offer(at, ri) {
+			central = append(central, ri)
+			if len(central) > maxQ {
+				maxQ = len(central)
+			}
+		}
+	}
+
 	next, more := src.Next()
 	for {
 		// The globally-earliest host event, among hosts that still have
@@ -350,6 +393,17 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 			if h.eng.Pending() < before {
 				drainCentral(now)
 			}
+			// A completion may release downstream chain stages: they
+			// re-enter dispatch as arrivals at the completion instant,
+			// after held work has had its chance at the freed capacity.
+			if c.inj != nil && len(finished) > 0 {
+				for _, ft := range finished {
+					for _, dt := range c.inj.OnFinish(ft) {
+						admit(dt, now)
+					}
+				}
+				finished = finished[:0]
+			}
 			continue
 		}
 
@@ -361,14 +415,15 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 			if arrTime > now {
 				now = arrTime
 			}
-			records = append(records, record{t: next, orig: next.Arrival, host: Hold, at: -1})
-			ri := len(records) - 1
-			if len(central) > 0 || !offer(now, ri) {
-				// Preserve FIFO: nothing overtakes already-held work.
-				central = append(central, ri)
-				if len(central) > maxQ {
-					maxQ = len(central)
+			if c.inj != nil {
+				// A chained request expands into its root stages, all
+				// arriving at the request instant; the request task
+				// itself is stage 0.
+				for _, rt := range c.inj.Expand(next) {
+					admit(rt, now)
 				}
+			} else {
+				admit(next, now)
 			}
 			next, more = src.Next()
 			continue
@@ -435,6 +490,9 @@ func (c *Cluster) result(records []record, maxQ int, aborted bool) *Result {
 
 	label := fmt.Sprintf("%s x%d/%s", schedName, len(c.hosts), res.Dispatcher)
 	res.Merged = metrics.Run{Scheduler: label, Tasks: all}
+	if c.inj != nil {
+		res.Workflows = metrics.WorkflowRun{Scheduler: label, Workflows: c.inj.Workflows()}
+	}
 	for i, h := range c.hosts {
 		// Utilization over the shared cluster horizon, not each host's
 		// local clock: a host that went idle early was idle for the

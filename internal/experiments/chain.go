@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/serverless-sched/sfs/internal/chain"
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/schedulers"
+	"github.com/serverless-sched/sfs/internal/workload"
+)
+
+func init() {
+	register("chain-slowdown", "End-to-end workflow slowdown x scheduler x chain depth x load", runChainSlowdown)
+}
+
+// chainSchedulers are the schedulers the sweep compares, in report
+// order: SFS against the kernel default it replaces and the FIFO
+// baseline its FILTER level resembles.
+var chainSchedulers = []string{"SFS", "CFS", "FIFO"}
+
+// runChainSlowdown goes beyond the paper's per-invocation metrics: it
+// sweeps scheduler x chain depth x load over the synthetic multi-stage
+// family (linear chains of Table I-distributed stages, request arrivals
+// calibrated so the whole chain offers the target load) and reports
+// per-workflow END-TO-END slowdown — turnaround from request arrival to
+// last-stage completion, over the chain's critical-path ideal. The
+// expectation, asserted in the notes: SFS's mean end-to-end slowdown
+// stays at or below CFS's at every depth. The per-stage win compounds
+// in absolute terms — the mean end-to-end gap in time units widens as
+// chains deepen — while the slowdown *ratio* typically narrows with
+// depth (deeper chains inflate both schedulers' critical-path
+// denominators); the compounding note reports the measured ratios so
+// the trend is visible rather than assumed.
+func runChainSlowdown(cfg Config) *Report {
+	const cores = 16
+	n := scaleN(cfg, 2400)
+	depths := []int{1, 2, 4, 8}
+	loads := []float64{0.8, 1.0}
+	if cfg.Quick {
+		depths = []int{2, 4}
+		loads = []float64{1.0}
+	}
+
+	rep := &Report{
+		ID:    "chain-slowdown",
+		Title: "per-workflow end-to-end slowdown, SFS vs CFS vs FIFO x chain depth x load",
+		Paper: "beyond the paper: function-chain workflows (Przybylski et al. end-to-end scheduling, Kaffes et al. bursty chains)",
+	}
+	rep.Header = []string{"sched", "depth", "load", "wf p50", "wf p99", "wf mean", "mean slowdown", "p99 slowdown"}
+
+	type cell struct {
+		sched string
+		depth int
+		load  float64
+	}
+	var cells []cell
+	for _, depth := range depths {
+		for _, load := range loads {
+			for _, sched := range chainSchedulers {
+				cells = append(cells, cell{sched, depth, load})
+			}
+		}
+	}
+
+	type cellResult struct {
+		row  []string
+		mean float64 // mean end-to-end slowdown
+	}
+	results := make([]cellResult, len(cells))
+	cfg.fan(len(cells), func(i int) {
+		c := cells[i]
+		src, ccfg, err := workload.ChainStream(workload.ChainSpec{
+			N: n, Cores: cores, Load: derate(c.load),
+			Family: "LINEAR", Depth: c.depth, Seed: cfg.Seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		inj, err := chain.NewInjector(ccfg)
+		if err != nil {
+			panic(err)
+		}
+		s, err := schedulers.New(c.sched)
+		if err != nil {
+			panic(err)
+		}
+		eng := cpusim.NewEngine(cpusim.Config{Cores: cores}, s)
+		if _, err := chain.Run(src, inj, nil, eng); err != nil {
+			panic(err)
+		}
+		wfr := metrics.WorkflowRun{Scheduler: c.sched, Workflows: inj.Workflows()}
+		sum := wfr.Summarize(50, 99)
+		ps := sum.Percentiles()
+		slow := wfr.SlowdownPercentiles(99)
+		results[i] = cellResult{
+			row: []string{
+				c.sched,
+				fmt.Sprintf("%d", c.depth),
+				fmt.Sprintf("%.0f%%", c.load*100),
+				metrics.FormatDuration(ps[0]),
+				metrics.FormatDuration(ps[1]),
+				metrics.FormatDuration(sum.Mean()),
+				fmt.Sprintf("%.2fx", wfr.MeanSlowdown()),
+				fmt.Sprintf("%.2fx", slow[0]),
+			},
+			mean: wfr.MeanSlowdown(),
+		}
+	})
+
+	type key struct {
+		sched string
+		depth int
+		load  float64
+	}
+	mean := map[key]float64{}
+	for i, c := range cells {
+		rep.Rows = append(rep.Rows, results[i].row)
+		mean[key{c.sched, c.depth, c.load}] = results[i].mean
+	}
+
+	// The headline assertion: SFS <= CFS on mean end-to-end slowdown at
+	// every (depth, load) point of the sweep.
+	for _, depth := range depths {
+		for _, load := range loads {
+			sfs := mean[key{"SFS", depth, load}]
+			cfs := mean[key{"CFS", depth, load}]
+			status := "holds"
+			if sfs > cfs {
+				status = "VIOLATED"
+			}
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"depth %d @ %.0f%%: SFS mean e2e slowdown %.2fx <= CFS %.2fx — %s",
+				depth, load*100, sfs, cfs, status))
+		}
+	}
+	// Compounding: the CFS-over-SFS advantage from the shallowest to the
+	// deepest chain at the highest load.
+	lo, hi := depths[0], depths[len(depths)-1]
+	load := loads[len(loads)-1]
+	if sfsLo := mean[key{"SFS", lo, load}]; sfsLo > 0 && mean[key{"SFS", hi, load}] > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"compounding @ %.0f%%: CFS/SFS mean-slowdown ratio %.2fx at depth %d vs %.2fx at depth %d",
+			load*100, mean[key{"CFS", lo, load}]/sfsLo, lo,
+			mean[key{"CFS", hi, load}]/mean[key{"SFS", hi, load}], hi))
+	}
+	return rep
+}

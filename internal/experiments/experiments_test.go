@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "table2",
 		"ablation-secondlevel", "ablation-baselines", "ablation-window",
 		"ablation-overload", "ablation-tail", "ablation-queueing",
-		"synth-ramp", "cluster-dispatch", "keepalive",
+		"synth-ramp", "cluster-dispatch", "keepalive", "chain-slowdown",
 	}
 	got := map[string]bool{}
 	for _, e := range All() {
@@ -198,5 +198,29 @@ func TestKeepaliveOrdering(t *testing.T) {
 	}
 	if hist <= ttl {
 		t.Errorf("periodic family: HIST warm-hit %.1f%% should strictly beat TTL %.1f%%", hist, ttl)
+	}
+}
+
+// TestChainSlowdownOrdering: on the synthetic multi-stage family, SFS's
+// mean end-to-end workflow slowdown must be at or below CFS's at every
+// (depth, load) point — the chain-slowdown experiment's acceptance
+// assertion, reported in its notes.
+func TestChainSlowdownOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep := runChainSlowdown(quick)
+	checked := 0
+	for _, n := range rep.Notes {
+		if !strings.Contains(n, "<=") {
+			continue
+		}
+		checked++
+		if strings.Contains(n, "VIOLATED") {
+			t.Errorf("SFS <= CFS end-to-end slowdown violated: %s", n)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("chain-slowdown report has no ordering notes")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -119,6 +120,48 @@ func TestRunOneMatchesRunAll(t *testing.T) {
 		}
 		if lone.Render() != all[i].Render() {
 			t.Fatal("RunOne(fig6) differs from the fig6 slice of RunAll")
+		}
+	}
+}
+
+// TestDeriveSeedDistinctAdjacentIDs: adjacent experiment IDs — the
+// near-identical strings real registries produce (fig1/fig2, exp-0/
+// exp-1, one-character and one-digit deltas) — must map to pairwise
+// distinct seeds for many base seeds, and every registered experiment
+// ID must already be collision-free.
+func TestDeriveSeedDistinctAdjacentIDs(t *testing.T) {
+	uniq := map[string]bool{}
+	var ids []string
+	add := func(id string) {
+		if !uniq[id] {
+			uniq[id] = true
+			ids = append(ids, id)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		add(fmt.Sprintf("exp-%d", i))
+		add(fmt.Sprintf("fig%d", i))
+	}
+	for _, e := range All() {
+		add(e.ID)
+	}
+	for _, base := range []uint64{0, 1, 42, ^uint64(0)} {
+		seen := map[uint64]string{}
+		for _, id := range ids {
+			s := DeriveSeed(base, id)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("base %d: IDs %q and %q derive the same seed %d", base, prev, id, s)
+			}
+			seen[s] = id
+			if s == base {
+				t.Errorf("base %d: ID %q derives the base seed itself", base, id)
+			}
+		}
+	}
+	// The same ID under adjacent base seeds must also decorrelate.
+	for i := uint64(0); i < 64; i++ {
+		if DeriveSeed(i, "keepalive") == DeriveSeed(i+1, "keepalive") {
+			t.Fatalf("bases %d and %d collide for one ID", i, i+1)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/dist"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
@@ -78,6 +79,15 @@ type Config struct {
 	// capacity. Nil reproduces the paper's setup — auto-scaling off,
 	// every container pre-warmed, no cold starts.
 	Lifecycle *lifecycle.Config
+	// Chain, when non-nil, expands each request into a function-chain
+	// workflow (internal/chain). The external request pays the full
+	// gateway+worker+sandbox path; each internal stage-to-stage hop pays
+	// the worker+sandbox share (plus the UDP notification under
+	// SFSPort); the response path is charged once, to the workflow's
+	// final stage. Per-workflow end-to-end results land in
+	// Result.Workflows. Its Hop field must be nil (the platform wires
+	// its own overheads there); its Seed defaults to Config.Seed.
+	Chain *chain.Config
 	// SFSPort marks that the scheduler under test is reached via the UDP
 	// notification hop.
 	SFSPort bool
@@ -107,6 +117,14 @@ func New(cfg Config) *Platform {
 			panic(fmt.Sprintf("faas: %v", err))
 		}
 	}
+	if cfg.Chain != nil {
+		if cfg.Chain.Hop != nil {
+			panic("faas: Chain.Hop is owned by the platform (leave it nil)")
+		}
+		if _, err := chain.NewInjector(*cfg.Chain); err != nil {
+			panic(fmt.Sprintf("faas: %v", err))
+		}
+	}
 	return &Platform{cfg: cfg}
 }
 
@@ -120,6 +138,10 @@ type Result struct {
 	// cold latency, evictions) when Config.Lifecycle was set; zero
 	// otherwise.
 	Lifecycle lifecycle.Stats
+	// Workflows holds per-workflow end-to-end results (turnaround
+	// including the platform's request and response paths) when
+	// Config.Chain was set; empty otherwise.
+	Workflows metrics.WorkflowRun
 	// MeanDispatchOverhead is the realized mean request-path overhead
 	// (excluding response and cold starts).
 	MeanDispatchOverhead time.Duration
@@ -172,28 +194,15 @@ func (p *Platform) RunTrace(src trace.Source, s cpusim.Scheduler) Result {
 		CtxSwitchCost: p.cfg.CtxSwitchCost,
 		Deadline:      1000 * time.Hour,
 	}, s)
-	var makespan time.Duration
-	var lstats lifecycle.Stats
-	if p.cfg.Lifecycle == nil {
-		eng.Submit(tasks...)
-		makespan = eng.Run()
-	} else {
-		// The container is requested when the worker dispatches the
-		// invocation — after the platform overheads — so the lifecycle
-		// must see arrivals in perturbed order, which the per-hop
-		// sampling can locally scramble.
-		cfg := *p.cfg.Lifecycle
-		if cfg.Seed == 0 {
-			cfg.Seed = p.cfg.Seed
-		}
-		mgr, err := lifecycle.New(cfg)
-		if err != nil {
-			panic(err) // unreachable: New validated the lifecycle config
-		}
+	// The container is requested (and a chained request expands) when
+	// the worker dispatches the invocation — after the platform
+	// overheads — so the driver loops must see arrivals in perturbed
+	// order, which the per-hop sampling can locally scramble.
+	perturbedSource := func() trace.Source {
 		ordered := append([]*task.Task(nil), tasks...)
 		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
 		i := 0
-		perturbed := trace.New(src.String(), func() (*task.Task, bool) {
+		return trace.New(src.String(), func() (*task.Task, bool) {
 			if i >= len(ordered) {
 				return nil, false
 			}
@@ -201,27 +210,108 @@ func (p *Platform) RunTrace(src trace.Source, s cpusim.Scheduler) Result {
 			i++
 			return t, true
 		})
-		if makespan, err = lifecycle.Run(perturbed, mgr, eng); err != nil {
-			panic(err) // perturbed cannot fail: the slice was collected
+	}
+
+	var mgr *lifecycle.Manager
+	if p.cfg.Lifecycle != nil {
+		cfg := *p.cfg.Lifecycle
+		if cfg.Seed == 0 {
+			cfg.Seed = p.cfg.Seed
 		}
+		var err error
+		if mgr, err = lifecycle.New(cfg); err != nil {
+			panic(err) // unreachable: New validated the lifecycle config
+		}
+	}
+
+	var makespan time.Duration
+	var lstats lifecycle.Stats
+	var inj *chain.Injector
+	var chained []bool // per collected request: expands into a workflow?
+	switch {
+	case p.cfg.Chain != nil:
+		// Internal stage-to-stage hops pay the worker+sandbox share of
+		// the dispatch path (plus the UDP notification under SFSPort);
+		// only the external request paid the gateway above.
+		ccfg := *p.cfg.Chain
+		if ccfg.Seed == 0 {
+			ccfg.Seed = p.cfg.Seed
+		}
+		hopR := rng.New(p.cfg.Seed ^ 0x40b)
+		ccfg.Hop = func() time.Duration {
+			d := sample(p.cfg.Overheads.Worker, hopR) + sample(p.cfg.Overheads.Sandbox, hopR)
+			if p.cfg.SFSPort {
+				d += sample(p.cfg.Overheads.UDPNotify, hopR)
+			}
+			return d
+		}
+		var err error
+		if inj, err = chain.NewInjector(ccfg); err != nil {
+			panic(err) // unreachable: New validated the chain config
+		}
+		// Snapshot which requests expand before Run: Expand rewrites a
+		// chained request's App to its stage-0 name, so the original
+		// request app is only knowable here.
+		chained = make([]bool, len(tasks))
+		for i, t := range tasks {
+			chained[i] = inj.Chained(t.App)
+		}
+		if makespan, err = chain.Run(perturbedSource(), inj, mgr, eng); err != nil {
+			panic(err) // the source cannot fail: the slice was collected
+		}
+	case mgr != nil:
+		var err error
+		if makespan, err = lifecycle.Run(perturbedSource(), mgr, eng); err != nil {
+			panic(err) // the source cannot fail: the slice was collected
+		}
+	default:
+		eng.Submit(tasks...)
+		makespan = eng.Run()
+	}
+	if mgr != nil {
 		lstats = mgr.Stats()
 	}
 
 	// Restore end-to-end timestamps: arrival back to HTTP invocation
-	// time, finish extended by the response path. (lifecycle.Run already
-	// unwound its own cold-start shift.)
+	// time, finish extended by the response path. (chain.Run and
+	// lifecycle.Run already unwound their own cold-start shifts.) In
+	// chain mode a chained request's response is charged once per
+	// workflow — to its final stage, below — while requests that passed
+	// through unexpanded keep the plain per-request response charge.
 	for i, t := range tasks {
 		t.Arrival -= pre[i]
-		if t.Finish >= 0 {
+		if t.Finish >= 0 && (inj == nil || !chained[i]) {
 			t.Finish += post[i]
 		}
 	}
+	allTasks := tasks
+	if inj != nil {
+		allTasks = eng.Tasks()
+		rootIdx := make(map[int]int, len(tasks))
+		for i, t := range tasks {
+			rootIdx[t.ID] = i
+		}
+		for wi := 0; wi < inj.Len(); wi++ {
+			i, ok := rootIdx[inj.RootID(wi)]
+			if !ok {
+				continue
+			}
+			inj.AdjustArrival(wi, -pre[i])
+			if ft := inj.Final(wi); ft != nil && ft.Finish >= 0 {
+				ft.Finish += post[i]
+				inj.AdjustFinish(wi, post[i])
+			}
+		}
+	}
 	res := Result{
-		Run:        metrics.Run{Scheduler: s.Name(), Tasks: tasks},
+		Run:        metrics.Run{Scheduler: s.Name(), Tasks: allTasks},
 		Makespan:   makespan,
 		Engine:     eng,
 		ColdStarts: lstats.ColdStarts,
 		Lifecycle:  lstats,
+	}
+	if inj != nil {
+		res.Workflows = metrics.WorkflowRun{Scheduler: s.Name(), Workflows: inj.Workflows()}
 	}
 	if len(tasks) > 0 {
 		res.MeanDispatchOverhead = overheadSum / time.Duration(len(tasks))

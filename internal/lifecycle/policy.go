@@ -179,8 +179,14 @@ type histogram struct {
 
 // histogram tuning constants.
 const (
-	histMinSamples  = 4                // arrivals before predictions engage
-	histKeepCap     = time.Hour        // keep-alive windows never exceed this
+	histMinSamples = 4 // arrivals before predictions engage
+	// histKeepCap bounds *prediction-driven* window extensions: a p99
+	// tail estimate never extends a window past this. The configured
+	// fallback is a user decision and is exempt — the floor rule
+	// ("the fixed window is a floor HIST only ever extends") outranks
+	// the cap, so a 2 h fallback yields 2 h windows, exactly as the
+	// TTL policy it hybridizes would.
+	histKeepCap     = time.Hour
 	histPrewarmMin  = 10 * time.Second // only pre-warm for gaps this large
 	histGracePeriod = time.Second      // idle grace before a pre-warm gap
 	histMaxApps     = 4096             // histogram memory bound
@@ -229,18 +235,29 @@ func (p *histogram) OnRelease(now simtime.Time, app string) Decision {
 		// floor was observed to shrink burst pools early.
 		tail = p.fallback
 	}
-	if tail > histKeepCap {
-		tail = histKeepCap
+	// Cap only the prediction-driven extension, never the configured
+	// floor (see histKeepCap).
+	if bound := max(histKeepCap, p.fallback); tail > bound {
+		tail = bound
 	}
 	head := h.quantileLo(0.05)
-	if head > histPrewarmMin {
-		// The app reliably stays quiet: release now, come back warm at
-		// the earliest predicted arrival. The p05 bucket's lower bound
-		// already undershoots the true 5th percentile by up to 2×, so
-		// it needs no further margin, and — unlike a keep-alive window,
-		// which holds memory the whole time — the pre-warm *instant*
-		// may lie beyond histKeepCap; only the resident window after it
-		// is capped.
+	if head > histPrewarmMin && head > p.fallback {
+		// The app reliably stays quiet past the fallback window: keep
+		// the floor window (never less), go cold through the predicted
+		// gap, and come back warm at the earliest predicted arrival.
+		// The p05 bucket's lower bound already undershoots the true
+		// 5th percentile by up to 2×, so it needs no further margin,
+		// and — unlike a keep-alive window, which holds memory the
+		// whole time — the pre-warm *instant* may lie beyond
+		// histKeepCap; only the resident window after it is capped.
+		//
+		// Both guards are the floor rule's boundary ("the fixed window
+		// is a floor HIST only ever extends"): prediction engages only
+		// when the predicted gap lies *beyond* the fallback window, and
+		// the container still idles at least that window before the
+		// gap — the old grace-period cut made HIST colder than the
+		// fixed TTL it hybridizes whenever an arrival landed inside
+		// the floor.
 		prewarmIn := head
 		cover := h.quantile(0.99) + h.quantile(0.99)/4 - prewarmIn
 		if cover < histGracePeriod {
@@ -249,8 +266,12 @@ func (p *histogram) OnRelease(now simtime.Time, app string) Decision {
 		if cover > histKeepCap {
 			cover = histKeepCap
 		}
+		keep := p.fallback
+		if keep < histGracePeriod {
+			keep = histGracePeriod
+		}
 		return Decision{
-			KeepWarm:   histGracePeriod,
+			KeepWarm:   keep,
 			PrewarmIn:  prewarmIn,
 			PrewarmFor: cover,
 		}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -67,6 +68,89 @@ func TestReplaySpeedupAndCap(t *testing.T) {
 	}
 	if rep.Wall > time.Second {
 		t.Fatalf("compressed replay took %v", rep.Wall)
+	}
+}
+
+// TestReplayRejectsBadConfig: nonsense configurations must be reported
+// as errors, not silently coerced (a negative Speedup used to replay in
+// real time); the zero value still means the documented real-time
+// default.
+func TestReplayRejectsBadConfig(t *testing.T) {
+	s := newStarted(t, Config{Workers: 1})
+	for _, cfg := range []ReplayConfig{
+		{Speedup: -1},
+		{Speedup: math.Inf(1)},
+		{Speedup: math.NaN()},
+		{MaxService: -time.Millisecond},
+		{MaxN: -1},
+	} {
+		if _, err := Replay(s, replayTrace(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	// Zero Speedup is the documented default, not an error.
+	if _, err := Replay(s, replayTrace(), ReplayConfig{}); err != nil {
+		t.Fatalf("zero-value config rejected: %v", err)
+	}
+}
+
+// TestReplayPlanClampsCompressedService: MaxService bounds the
+// compressed (wall-clock) spin total exactly — the clamp used to apply
+// to trace time, a different bound than documented — and scaled
+// segments must telescope with no per-segment truncation drift.
+func TestReplayPlanClampsCompressedService(t *testing.T) {
+	tk := task.New(0, 0, 10*time.Second)
+	tk.WithIO(time.Second, 50*time.Millisecond)
+	tk.WithIO(4*time.Second, 70*time.Millisecond)
+	cfg := ReplayConfig{Speedup: 100, MaxService: 20 * time.Millisecond}
+	// Compressed service is 100ms > 20ms cap: the spins must sum to the
+	// cap exactly (cumulative mapping, not per-segment truncation).
+	plan := replayPlan(tk, cfg)
+	if len(plan) != 3 {
+		t.Fatalf("plan has %d steps, want 3 (two I/O ops + final burst)", len(plan))
+	}
+	var spins time.Duration
+	for _, st := range plan {
+		spins += st.spin
+	}
+	if spins != cfg.MaxService {
+		t.Fatalf("clamped spins sum to %v, want exactly %v", spins, cfg.MaxService)
+	}
+	// I/O ops keep their proportional positions: op at 1s of 10s -> 10%
+	// of the clamped budget spun before the first sleep.
+	if want := cfg.MaxService / 10; plan[0].spin != want {
+		t.Errorf("first burst %v, want %v (10%% of the clamped budget)", plan[0].spin, want)
+	}
+	// Sleeps are compressed but not clamped.
+	if plan[0].sleep != 500*time.Microsecond || plan[1].sleep != 700*time.Microsecond {
+		t.Errorf("sleeps %v/%v, want 0.5ms/0.7ms", plan[0].sleep, plan[1].sleep)
+	}
+	// Below the cap, no clamping: spins sum to the compressed service.
+	uncapped := replayPlan(tk, ReplayConfig{Speedup: 1000, MaxService: 20 * time.Millisecond})
+	spins = 0
+	for _, st := range uncapped {
+		spins += st.spin
+	}
+	if spins != 10*time.Millisecond {
+		t.Fatalf("uncapped spins sum to %v, want the 10ms compressed service", spins)
+	}
+}
+
+// TestReplayPlanDuplicateOps: ops sharing an At position must not
+// regress the CPU cursor or produce negative bursts.
+func TestReplayPlanDuplicateOps(t *testing.T) {
+	tk := task.New(0, 0, 8*time.Millisecond)
+	tk.WithIO(2*time.Millisecond, time.Millisecond)
+	tk.WithIO(2*time.Millisecond, time.Millisecond)
+	var spins time.Duration
+	for _, st := range replayPlan(tk, ReplayConfig{}) {
+		if st.spin < 0 {
+			t.Fatalf("negative burst %v", st.spin)
+		}
+		spins += st.spin
+	}
+	if spins != 8*time.Millisecond {
+		t.Fatalf("spins sum to %v, want the full 8ms service", spins)
 	}
 }
 

@@ -94,3 +94,75 @@ func TestSummaryEmptyRun(t *testing.T) {
 		}
 	}
 }
+
+// TestSummaryEmptyAndSingleBothModes: a run with zero or one finished
+// task must report zeros (never NaN, never a panic) for the moments and
+// sane percentiles in both the streaming and the exact mode — the
+// degenerate inputs a deadline-aborted or single-request simulation
+// produces.
+func TestSummaryEmptyAndSingleBothModes(t *testing.T) {
+	defer func(old bool) { ExactQuantiles = old }(ExactQuantiles)
+	for _, exact := range []bool{false, true} {
+		ExactQuantiles = exact
+
+		// Empty: an unfinished task contributes nothing.
+		empty := Run{Tasks: []*task.Task{task.New(0, 0, time.Millisecond)}}
+		sum := empty.Summarize(50, 99, 99.9)
+		if sum.N() != 0 || sum.Mean() != 0 || sum.Min() != 0 || sum.Max() != 0 {
+			t.Fatalf("exact=%v: empty run moments N=%d mean=%v min=%v max=%v", exact, sum.N(), sum.Mean(), sum.Min(), sum.Max())
+		}
+		if std := sum.Std(); std != 0 || math.IsNaN(std) {
+			t.Fatalf("exact=%v: empty run std %v, want 0", exact, std)
+		}
+		for _, p := range sum.Percentiles() {
+			if p != 0 {
+				t.Fatalf("exact=%v: empty run percentile %v, want 0", exact, p)
+			}
+		}
+		if mt := empty.MeanTurnaround(); mt != 0 {
+			t.Fatalf("exact=%v: empty run mean turnaround %v", exact, mt)
+		}
+
+		// Single finished task: every statistic is that sample.
+		tk := task.New(0, 0, time.Millisecond)
+		tk.MarkFinished(7 * time.Millisecond)
+		single := Run{Tasks: []*task.Task{tk}}
+		sum = single.Summarize(0, 50, 99, 100)
+		if sum.N() != 1 || sum.Mean() != 7*time.Millisecond {
+			t.Fatalf("exact=%v: single run N=%d mean=%v", exact, sum.N(), sum.Mean())
+		}
+		if std := sum.Std(); std != 0 || math.IsNaN(std) {
+			t.Fatalf("exact=%v: single run std %v, want 0 (not NaN)", exact, std)
+		}
+		for i, p := range sum.Percentiles() {
+			if p != 7*time.Millisecond {
+				t.Fatalf("exact=%v: single run percentile %d = %v, want the sample", exact, i, p)
+			}
+		}
+	}
+}
+
+// TestWorkflowRunDegenerate: the workflow-level summaries share the
+// same zero guarantees.
+func TestWorkflowRunDegenerate(t *testing.T) {
+	empty := WorkflowRun{Workflows: []Workflow{{ID: 1, Finish: -1}}}
+	if empty.Completed() != 0 || empty.MeanSlowdown() != 0 {
+		t.Fatalf("unfinished-only run: completed=%d mean=%v", empty.Completed(), empty.MeanSlowdown())
+	}
+	for _, v := range empty.SlowdownPercentiles(50, 99) {
+		if v != 0 {
+			t.Fatalf("unfinished-only slowdown percentile %v", v)
+		}
+	}
+	one := WorkflowRun{Workflows: []Workflow{{ID: 1, Arrival: 0, Finish: 10 * time.Millisecond, Ideal: 5 * time.Millisecond, Stages: 2}}}
+	if one.Completed() != 1 || one.MeanSlowdown() != 2 {
+		t.Fatalf("single workflow: completed=%d mean slowdown=%v, want 1/2.0", one.Completed(), one.MeanSlowdown())
+	}
+	if w := one.Workflows[0]; w.Turnaround() != 10*time.Millisecond {
+		t.Fatalf("turnaround %v", w.Turnaround())
+	}
+	zeroIdeal := Workflow{Finish: 1, Ideal: 0}
+	if s := zeroIdeal.Slowdown(); s != 0 || math.IsNaN(s) {
+		t.Fatalf("zero-ideal slowdown %v, want 0", s)
+	}
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/stats"
+)
+
+// Workflow is one function-chain instance's end-to-end outcome: a
+// request that fanned through several stages (internal/chain), measured
+// from the original request arrival to the completion of the last
+// stage. It is the workflow-level counterpart of a task's turnaround —
+// per-stage statistics live in the ordinary Run over the stage tasks,
+// while Workflow captures how per-stage queueing compounds across the
+// chain.
+type Workflow struct {
+	// ID is the triggering request's task ID (unique per trace).
+	ID int
+	// App is the request's application name (the workflow family).
+	App string
+	// Stages is the number of stages in the chain.
+	Stages int
+	// Arrival is the request's original arrival time.
+	Arrival simtime.Time
+	// Finish is the completion time of the chain's last stage, or -1
+	// while any stage is unfinished (aborted or deadline-capped runs).
+	Finish simtime.Time
+	// Ideal is the critical-path duration on an uncontended machine:
+	// the longest dependency path through the DAG, each stage
+	// contributing its zero-interference duration (CPU + I/O).
+	Ideal time.Duration
+}
+
+// Done reports whether every stage of the workflow finished.
+func (w Workflow) Done() bool { return w.Finish >= 0 }
+
+// Turnaround returns the end-to-end response time Finish-Arrival, or -1
+// if the workflow is unfinished.
+func (w Workflow) Turnaround() time.Duration {
+	if !w.Done() {
+		return -1
+	}
+	return w.Finish - w.Arrival
+}
+
+// Slowdown is the workflow-level slowdown metric: end-to-end turnaround
+// divided by the critical-path ideal duration. 1.0 means every stage ran
+// with zero queueing delay; per-stage delays compound multiplicatively
+// along the chain. Unfinished workflows report 0.
+func (w Workflow) Slowdown() float64 {
+	ta := w.Turnaround()
+	if ta < 0 || w.Ideal <= 0 {
+		return 0
+	}
+	return float64(ta) / float64(w.Ideal)
+}
+
+// WorkflowRun summarizes one scheduler execution over a set of
+// workflows, mirroring Run for tasks. Only finished workflows contribute
+// to any statistic, so aborted runs still report on what completed.
+type WorkflowRun struct {
+	Scheduler string
+	Workflows []Workflow
+}
+
+// Completed returns the number of finished workflows.
+func (r WorkflowRun) Completed() int {
+	n := 0
+	for _, w := range r.Workflows {
+		if w.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanSlowdown returns the arithmetic-mean end-to-end slowdown across
+// finished workflows (0 when none finished).
+func (r WorkflowRun) MeanSlowdown() float64 {
+	var o stats.Online
+	for _, w := range r.Workflows {
+		if w.Done() {
+			o.Add(w.Slowdown())
+		}
+	}
+	return o.Mean()
+}
+
+// SlowdownPercentiles returns the end-to-end slowdown values at the
+// given percentile ranks (exact, sort-based: workflow counts are small
+// relative to invocation counts).
+func (r WorkflowRun) SlowdownPercentiles(ranks ...float64) []float64 {
+	vals := make([]float64, 0, len(r.Workflows))
+	for _, w := range r.Workflows {
+		if w.Done() {
+			vals = append(vals, w.Slowdown())
+		}
+	}
+	out := make([]float64, len(ranks))
+	for i, p := range ranks {
+		out[i] = stats.Percentile(vals, p)
+	}
+	return out
+}
+
+// Summarize streams every finished workflow's end-to-end turnaround
+// through a Summary (the same streaming accumulator the task tables
+// use).
+func (r WorkflowRun) Summarize(ranks ...float64) *Summary {
+	s := NewSummary(ranks...)
+	for _, w := range r.Workflows {
+		if ta := w.Turnaround(); ta >= 0 {
+			s.Add(ta)
+		}
+	}
+	return s
+}
+
+// Render returns the one-line workflow summary the CLIs print.
+func (r WorkflowRun) Render() string {
+	sum := r.Summarize(50, 99)
+	ps := sum.Percentiles()
+	return fmt.Sprintf("workflows: %d/%d complete, e2e turnaround p50=%s p99=%s mean=%s, mean slowdown %.2fx",
+		r.Completed(), len(r.Workflows),
+		FormatDuration(ps[0]), FormatDuration(ps[1]), FormatDuration(sum.Mean()),
+		r.MeanSlowdown())
+}

@@ -26,6 +26,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/core"
 	"github.com/serverless-sched/sfs/internal/cpusim"
@@ -183,6 +184,33 @@ func Scenarios(quick bool, seed uint64) []Scenario {
 						N: n, Cores: 16, Load: 1.0, Seed: seed,
 					})
 					if _, err := cl.Run(src); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// One op = driving the workflow layer over the synthetic
+			// multi-stage family: request expansion, per-completion
+			// downstream release, and the end-to-end bookkeeping.
+			Name: "chain-run",
+			Bench: func(b *testing.B) {
+				n := size(quick, 2000)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					src, ccfg, err := workload.ChainStream(workload.ChainSpec{
+						N: n, Cores: 16, Load: 0.9, Family: "LINEAR", Depth: 4, Seed: seed,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					inj, err := chain.NewInjector(ccfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eng := cpusim.NewEngine(cpusim.Config{Cores: 16, Deadline: 1000 * time.Hour},
+						core.New(core.DefaultConfig()))
+					if _, err := chain.Run(src, inj, nil, eng); err != nil {
 						b.Fatal(err)
 					}
 				}

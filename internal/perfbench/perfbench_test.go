@@ -124,7 +124,7 @@ func TestScenariosComplete(t *testing.T) {
 	for _, s := range Scenarios(true, 42) {
 		names[s.Name] = true
 	}
-	for _, want := range []string{EngineStepBenchmark, "cluster-dispatch", "trace-decode", "trace-encode", "metrics-summary"} {
+	for _, want := range []string{EngineStepBenchmark, "cluster-dispatch", "chain-run", "trace-decode", "trace-encode", "metrics-summary"} {
 		if !names[want] {
 			t.Errorf("scenario %q missing", want)
 		}

@@ -119,3 +119,81 @@ func TestP2Monotone(t *testing.T) {
 		}
 	}
 }
+
+// TestP2ConstantSamples: a constant stream must estimate exactly that
+// constant at every rank, with finite markers, below and above the
+// five-observation threshold.
+func TestP2ConstantSamples(t *testing.T) {
+	for _, rank := range []float64{1, 50, 90, 99, 99.9} {
+		e := NewP2(rank)
+		for i := 0; i < 2000; i++ {
+			e.Add(7.5)
+			q := e.Quantile()
+			if math.IsNaN(q) || math.IsInf(q, 0) {
+				t.Fatalf("P%g: non-finite estimate %v after %d constant adds", rank, q, i+1)
+			}
+			if q != 7.5 {
+				t.Fatalf("P%g: estimate %v after %d constant adds, want 7.5", rank, q, i+1)
+			}
+		}
+	}
+}
+
+// TestP2DuplicateHeavySamples: streams dominated by a few repeated
+// values (the shape turnaround samples take under a quantized
+// scheduler) must never produce NaN, never leave [min, max], and never
+// break marker ordering.
+func TestP2DuplicateHeavySamples(t *testing.T) {
+	r := rng.New(4)
+	vals := []float64{5, 5, 5, 100, 5, 250}
+	for _, rank := range []float64{50, 95, 99} {
+		e := NewP2(rank)
+		min, max := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 5000; i++ {
+			x := vals[int(r.Uint64()%uint64(len(vals)))]
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+			e.Add(x)
+			q := e.Quantile()
+			if math.IsNaN(q) || q < min || q > max {
+				t.Fatalf("P%g: estimate %v outside [%v, %v] after %d adds", rank, q, min, max, i+1)
+			}
+			for j := 0; j+1 < 5 && e.n >= 5; j++ {
+				if e.q[j] > e.q[j+1] {
+					t.Fatalf("P%g: markers out of order after %d adds: %v", rank, i+1, e.q)
+				}
+			}
+		}
+	}
+}
+
+// TestP2SmallDuplicates: below five observations, duplicate and
+// constant sample sets must agree exactly with the interpolated
+// percentile definition (the stored-sample fallback path).
+func TestP2SmallDuplicates(t *testing.T) {
+	cases := [][]float64{
+		{3},
+		{3, 3},
+		{3, 3, 3},
+		{3, 3, 3, 3},
+		{1, 1, 2},
+		{2, 1, 1, 2},
+	}
+	for _, samples := range cases {
+		for _, rank := range []float64{25, 50, 99} {
+			e := NewP2(rank)
+			for _, x := range samples {
+				e.Add(x)
+			}
+			want := Percentile(samples, rank)
+			got := e.Quantile()
+			if math.IsNaN(got) || got != want {
+				t.Errorf("samples %v P%g: got %v, want %v", samples, rank, got, want)
+			}
+		}
+	}
+}

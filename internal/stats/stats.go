@@ -166,7 +166,11 @@ func percentileSorted(s []float64, p float64) float64 {
 	rank := p / 100 * float64(len(s)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
-	if lo == hi {
+	// Equal neighbors interpolate to themselves exactly: the weighted
+	// form a*(1-f)+a*f reintroduces floating-point error on duplicate
+	// samples (e.g. 7.5 -> 7.4999999999999999), which matters to
+	// byte-identity claims downstream.
+	if lo == hi || s[lo] == s[hi] {
 		return s[lo]
 	}
 	frac := rank - float64(lo)

@@ -310,3 +310,105 @@ func TestCSVFieldQuotingMatchesEncodingCSV(t *testing.T) {
 		}
 	}
 }
+
+// tagged builds a source of n invocations for app, all arriving at the
+// given instants (one invocation per instant).
+func tagged(app string, instants ...time.Duration) Source {
+	tasks := make([]*task.Task, len(instants))
+	for i, at := range instants {
+		tk := task.New(i, simtime.Time(at), ms(5))
+		tk.App = app
+		tasks[i] = tk
+	}
+	return FromTasks(app, tasks)
+}
+
+// TestMergeTieBreakAcrossThreeSources: when three or more sources emit
+// invocations at identical timestamps, Merge must interleave them in
+// source order at every tied instant, assign sequential IDs, and be
+// reproducible — the determinism contract multi-tenant compositions
+// rest on.
+func TestMergeTieBreakAcrossThreeSources(t *testing.T) {
+	mk := func() Source {
+		return Merge(
+			tagged("a", 0, ms(10), ms(20)),
+			tagged("b", 0, ms(10), ms(20)),
+			tagged("c", 0, ms(10), ms(20)),
+		)
+	}
+	out := Collect(mk())
+	if len(out) != 9 {
+		t.Fatalf("merged %d invocations, want 9", len(out))
+	}
+	wantApps := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	for i, tk := range out {
+		if tk.ID != i {
+			t.Errorf("invocation %d has ID %d, want sequential reassignment", i, tk.ID)
+		}
+		if tk.App != wantApps[i] {
+			t.Errorf("invocation %d from %q, want %q (ties break by source index)", i, tk.App, wantApps[i])
+		}
+		if want := simtime.Time(ms(10 * (i / 3))); tk.Arrival != want {
+			t.Errorf("invocation %d arrives at %v, want %v", i, tk.Arrival, want)
+		}
+	}
+	// Reproducible: a second construction yields the identical stream.
+	again := Collect(mk())
+	for i := range out {
+		if out[i].App != again[i].App || out[i].Arrival != again[i].Arrival {
+			t.Fatalf("merge replay diverged at %d", i)
+		}
+	}
+}
+
+// TestMergeTieBreakUnevenSources: the tie-break is by source index
+// among the *current heads* (k-way merge semantics, not round-robin):
+// once a lower-indexed source's next invocation also ties, it drains
+// before any higher-indexed source gets another turn, and a source
+// that exhausts mid-tie simply drops out.
+func TestMergeTieBreakUnevenSources(t *testing.T) {
+	out := Collect(Merge(
+		tagged("a", 0),
+		tagged("b", 0, 0),
+		tagged("c", 0, 0, 0),
+	))
+	wantApps := []string{"a", "b", "b", "c", "c", "c"}
+	if len(out) != len(wantApps) {
+		t.Fatalf("merged %d invocations, want %d", len(out), len(wantApps))
+	}
+	for i, tk := range out {
+		if tk.App != wantApps[i] || tk.Arrival != 0 {
+			t.Errorf("invocation %d = %s@%v, want %s@0", i, tk.App, tk.Arrival, wantApps[i])
+		}
+	}
+}
+
+// TestConcatIdenticalTimestampsAcrossSources: concatenating three
+// sources whose invocations all share one timestamp must land every
+// invocation on the same rebased instant, preserve per-source emission
+// order, and reassign sequential IDs.
+func TestConcatIdenticalTimestampsAcrossSources(t *testing.T) {
+	out := Collect(Concat(
+		tagged("a", ms(5), ms(5)),
+		tagged("b", ms(7), ms(7)),
+		tagged("c", ms(9), ms(9), ms(9)),
+	))
+	if len(out) != 7 {
+		t.Fatalf("concatenated %d invocations, want 7", len(out))
+	}
+	wantApps := []string{"a", "a", "b", "b", "c", "c", "c"}
+	for i, tk := range out {
+		if tk.ID != i {
+			t.Errorf("invocation %d has ID %d, want sequential reassignment", i, tk.ID)
+		}
+		if tk.App != wantApps[i] {
+			t.Errorf("invocation %d from %q, want %q", i, tk.App, wantApps[i])
+		}
+		// Every source's invocations share one timestamp, and each
+		// source is rebased to the previous source's last arrival: all
+		// seven land at the first source's 5ms instant.
+		if tk.Arrival != simtime.Time(ms(5)) {
+			t.Errorf("invocation %d arrives at %v, want 5ms", i, tk.Arrival)
+		}
+	}
+}
