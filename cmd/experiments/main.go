@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"github.com/serverless-sched/sfs/internal/experiments"
 	"github.com/serverless-sched/sfs/internal/metrics"
@@ -75,6 +76,9 @@ func main() {
 	var errs []error
 	for _, rep := range reports {
 		fmt.Println(rep.Render())
+		// Wall-clock is printed here rather than rendered into the
+		// report: rendered bytes stay a pure function of (seed, scale).
+		fmt.Printf("(%s ran in %v)\n\n", rep.ID, rep.WallClock.Round(time.Millisecond))
 		if *csv == "" {
 			continue
 		}

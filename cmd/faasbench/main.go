@@ -5,10 +5,15 @@
 // Subcommands:
 //
 //	faasbench gen     [flags]              # generate and summarize (default)
-//	faasbench export  [flags] -o out.csv   # generate and stream to CSV
-//	faasbench replay  -in out.csv [flags]  # replay a CSV trace in the simulator
+//	faasbench export  [flags] -o out.csv   # generate and stream to CSV or
+//	                                       # binary (-format binary)
+//	faasbench replay  -in out.csv [flags]  # replay a CSV or binary trace in
+//	                                       # the simulator (format sniffed)
+//	faasbench convert -in a.csv -o a.sftb  # convert a trace between CSV and
+//	                                       # the binary (SFTB) format
 //	faasbench cluster [flags]              # fan a trace across -hosts simulated
-//	                                       # hosts behind a -dispatch policy
+//	                                       # hosts behind a -dispatch policy;
+//	                                       # -shards N runs the sharded engine
 //	faasbench chain   [flags]              # expand each request into a -family
 //	                                       # workflow and report end-to-end stats
 //
@@ -27,8 +32,11 @@
 //	faasbench export -arrivals synth -shape ramp -start-rps 50 -target-rps 500 -horizon 60s -o ramp.csv
 //	faasbench replay -in ramp.csv -sched SFS -cores 16
 //	faasbench replay -in ramp.csv -sched SFS -keepalive HIST -memory 2048
+//	faasbench export -arrivals trace -n 1000000 -format binary -o big.sftb
+//	faasbench convert -in ramp.csv -o ramp.sftb
 //	faasbench cluster -hosts 4 -host-cores 8 -dispatch PULL -sched SFS -arrivals trace
 //	faasbench cluster -in ramp.csv -hosts 2 -host-cores 16 -dispatch JSQ
+//	faasbench cluster -in big.sftb -hosts 1000 -host-cores 4 -dispatch RR -shards 16
 //	faasbench cluster -hosts 4 -dispatch WARMFIRST -keepalive TTL -memory 1024 -arrivals trace
 //	faasbench chain -family LINEAR -depth 4 -sched SFS -arrivals trace -load 0.9
 //	faasbench chain -family DIAMOND -sched CFS -keepalive HIST -memory 2048
@@ -111,12 +119,14 @@ func main() {
 		cmdExport(args)
 	case "replay":
 		cmdReplay(args)
+	case "convert":
+		cmdConvert(args)
 	case "cluster":
 		cmdCluster(args)
 	case "chain":
 		cmdChain(args)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want gen, export, replay, cluster, or chain)\n", cmd)
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want gen, export, replay, convert, cluster, or chain)\n", cmd)
 		os.Exit(1)
 	}
 }
@@ -233,8 +243,12 @@ func cmdGen(args []string) {
 
 func cmdExport(args []string) {
 	g := newGenFlags("export")
-	out := g.fs.String("o", "", "output CSV path (default stdout); replayable by faasbench replay and sfs-sim -workload")
+	out := g.fs.String("o", "", "output path (default stdout); replayable by faasbench replay and sfs-sim -workload")
+	format := g.fs.String("format", "csv", "output format: csv or binary (the length-prefixed SFTB codec)")
 	g.fs.Parse(args)
+	if *format != "csv" && *format != "binary" {
+		fatal(fmt.Errorf("unknown -format %q (want csv or binary)", *format))
+	}
 	src := g.source()
 	w := os.Stdout
 	var f *os.File
@@ -245,7 +259,11 @@ func cmdExport(args []string) {
 		}
 		w = f
 	}
-	n, err := trace.WriteCSV(w, src)
+	write := trace.WriteCSV
+	if *format == "binary" {
+		write = trace.WriteBinary
+	}
+	n, err := write(w, src)
 	if err != nil {
 		fatal(err)
 	}
@@ -253,13 +271,71 @@ func cmdExport(args []string) {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d invocations to %s (%s)\n", n, *out, src)
+		fmt.Printf("wrote %d invocations to %s (%s, %s)\n", n, *out, src, *format)
+	}
+}
+
+// cmdConvert re-encodes a trace between the CSV and binary formats.
+// Both directions are lossless: timestamps are already microsecond
+// fixed points in either codec, so converting back reproduces the
+// original bytes.
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input trace, CSV or binary (required; format sniffed)")
+	out := fs.String("o", "", "output path (default stdout)")
+	to := fs.String("to", "", "target format: csv or binary (default: the opposite of the input)")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("convert needs -in trace"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	src, err := trace.DetectSource(f)
+	if err != nil {
+		fatal(err)
+	}
+	target := *to
+	if target == "" {
+		if src.String() == "binary" {
+			target = "csv"
+		} else {
+			target = "binary"
+		}
+	}
+	write := trace.WriteCSV
+	switch target {
+	case "csv":
+	case "binary":
+		write = trace.WriteBinary
+	default:
+		fatal(fmt.Errorf("unknown -to format %q (want csv or binary)", target))
+	}
+	w := os.Stdout
+	var of *os.File
+	if *out != "" {
+		if of, err = os.Create(*out); err != nil {
+			fatal(err)
+		}
+		w = of
+	}
+	n, err := write(w, src)
+	if err != nil {
+		fatal(err)
+	}
+	if of != nil {
+		if err := of.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("converted %d invocations: %s (%s) -> %s (%s)\n", n, *in, src, *out, target)
 	}
 }
 
 func cmdReplay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	in := fs.String("in", "", "trace CSV to replay (required)")
+	in := fs.String("in", "", "trace to replay, CSV or binary (required; format sniffed)")
 	schedName := fs.String("sched", "", "simulate the trace under a scheduler ("+strings.Join(schedulers.Names(), ", ")+"); empty = summarize only")
 	cores := fs.Int("cores", 16, "cores of the simulated host")
 	seed := fs.Uint64("seed", 42, "RNG seed for cold-start sampling")
@@ -274,7 +350,7 @@ func cmdReplay(args []string) {
 		fatal(err)
 	}
 	defer f.Close()
-	src, err := trace.NewCSVSource(f)
+	src, err := trace.DetectSource(f)
 	if err != nil {
 		fatal(err)
 	}
@@ -337,7 +413,9 @@ func cmdCluster(args []string) {
 	hostCores := g.fs.Int("host-cores", 8, "cores per host (load calibration uses hosts x host-cores, overriding -cores)")
 	dispatch := g.fs.String("dispatch", "RR", "dispatch policy: "+strings.Join(cluster.Names(), ", "))
 	schedName := g.fs.String("sched", "SFS", "per-host scheduler: "+strings.Join(schedulers.Names(), ", "))
-	in := g.fs.String("in", "", "replay this trace CSV instead of generating (gen flags ignored)")
+	in := g.fs.String("in", "", "replay this trace (CSV or binary, sniffed) instead of generating (gen flags ignored)")
+	shards := g.fs.Int("shards", 0, "run the sharded parallel engine with this many shards (0 = serial)")
+	dispatchLatency := g.fs.Duration("dispatch-latency", 0, "sharded mode: dispatcher->host latency and lookahead window (default 1ms)")
 	ka := newKAFlags(g.fs)
 	g.fs.Parse(args)
 	if *hosts < 1 || *hostCores < 1 {
@@ -352,7 +430,7 @@ func cmdCluster(args []string) {
 			fatal(err)
 		}
 		defer f.Close()
-		if src, err = trace.NewCSVSource(f); err != nil {
+		if src, err = trace.DetectSource(f); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -368,10 +446,12 @@ func cmdCluster(args []string) {
 		fatal(err)
 	}
 	cfg := cluster.Config{
-		Hosts:        *hosts,
-		CoresPerHost: *hostCores,
-		NewScheduler: func() cpusim.Scheduler { return mkScheduler(*schedName) },
-		Dispatcher:   d,
+		Hosts:           *hosts,
+		CoresPerHost:    *hostCores,
+		NewScheduler:    func() cpusim.Scheduler { return mkScheduler(*schedName) },
+		Dispatcher:      d,
+		Shards:          *shards,
+		DispatchLatency: *dispatchLatency,
 	}
 	if ka.enabled() {
 		cfg.NewLifecycle = func() *lifecycle.Manager { return ka.newManager(*g.seed) }
@@ -388,6 +468,9 @@ func cmdCluster(args []string) {
 
 	fmt.Printf("cluster: %d hosts x %d cores, %s dispatch, %s per host\n",
 		*hosts, *hostCores, res.Dispatcher, res.Scheduler)
+	if res.Shards > 0 {
+		fmt.Printf("sharded engine: %d shards, %v lookahead\n", res.Shards, res.Lookahead)
+	}
 	fmt.Printf("simulated %v of virtual time in %v wall time\n",
 		res.Makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Print(res.RenderPerHost())

@@ -5,12 +5,16 @@
 //
 //	perfbench [-quick] [-out DIR] [-baseline FILE|auto] [-max-regress 0.25]
 //
-// With -baseline, the run is also a regression gate: the engine-step
-// benchmark may be at most -max-regress slower in ns/op than the
-// baseline report, otherwise the process exits non-zero. Passing
-// `-baseline auto` picks the lexically-newest checked-in BENCH_*.json
-// in the repository root — the project's most recent trajectory point —
-// which is how CI pins the gate without hard-coding a file name.
+// With -baseline, the run is also a regression gate: every gated
+// benchmark (engine-step, sharded-cluster, trace-binary-decode,
+// trace-binary-encode) may be at most -max-regress slower in ns/op
+// than the baseline report, otherwise the process exits non-zero.
+// Benchmarks the baseline predates are noted and skipped, so adding a
+// scenario doesn't break the gate until a baseline containing it is
+// checked in. Passing `-baseline auto` picks the lexically-newest
+// checked-in BENCH_*.json in the repository root — the project's most
+// recent trajectory point — which is how CI pins the gate without
+// hard-coding a file name.
 package main
 
 import (
@@ -29,7 +33,7 @@ func main() {
 		out        = flag.String("out", ".", "directory to write BENCH_<date>.json into")
 		workers    = flag.Int("workers", runtime.NumCPU(), "worker count for the experiment-suite timing")
 		baseline   = flag.String("baseline", "", "baseline BENCH_*.json to gate against, or 'auto' for the newest in the repo root")
-		maxRegress = flag.Float64("max-regress", 0.25, "maximum allowed engine-step ns/op regression vs the baseline (0.25 = +25%)")
+		maxRegress = flag.Float64("max-regress", 0.25, "maximum allowed ns/op regression vs the baseline for each gated benchmark (0.25 = +25%)")
 		skipExp    = flag.Bool("skip-experiments", false, "skip the experiment-suite wall-clock phase")
 	)
 	flag.Parse()
@@ -77,7 +81,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", path, rep.GoMaxProcs)
+	for _, note := range rep.Notes {
+		fmt.Printf("note: %s\n", note)
+	}
 	if path == basePath {
 		fmt.Fprintf(os.Stderr, "note: overwrote the baseline file %s (gate still compares against its previous contents)\n", basePath)
 	}
@@ -90,12 +97,25 @@ func main() {
 	if base == nil {
 		return
 	}
-	if err := perfbench.Compare(rep, base, perfbench.EngineStepBenchmark, *maxRegress); err != nil {
-		fmt.Fprintf(os.Stderr, "regression gate vs %s FAILED: %v\n", basePath, err)
+	failed := false
+	for _, name := range perfbench.GatedBenchmarks() {
+		if _, ok := base.Find(name); !ok {
+			// A benchmark newer than the baseline can't regress against
+			// it; it joins the gate once a baseline containing it lands.
+			fmt.Fprintf(os.Stderr, "note: baseline %s predates benchmark %q; skipping its gate\n", basePath, name)
+			continue
+		}
+		if err := perfbench.Compare(rep, base, name, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "regression gate vs %s FAILED: %v\n", basePath, err)
+			failed = true
+			continue
+		}
+		cur, _ := rep.Find(name)
+		baseB, _ := base.Find(name)
+		fmt.Printf("regression gate vs %s passed: %s %.0f ns/op (baseline %.0f, limit +%.0f%%)\n",
+			basePath, name, cur.NsPerOp, baseB.NsPerOp, 100**maxRegress)
+	}
+	if failed {
 		os.Exit(1)
 	}
-	cur, _ := rep.Find(perfbench.EngineStepBenchmark)
-	baseB, _ := base.Find(perfbench.EngineStepBenchmark)
-	fmt.Printf("regression gate vs %s passed: %s %.0f ns/op (baseline %.0f, limit +%.0f%%)\n",
-		basePath, perfbench.EngineStepBenchmark, cur.NsPerOp, baseB.NsPerOp, 100**maxRegress)
 }

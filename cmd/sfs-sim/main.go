@@ -10,6 +10,7 @@
 //	sfs-sim -sched CFS -n 10000 -cores 16 -load 0.8 -arrivals trace
 //	sfs-sim -sched SFS -fixed-slice 100ms -io-fraction 0.75
 //	sfs-sim -hosts 4 -dispatch JSQ -sched SFS -cores 8 -load 0.9
+//	sfs-sim -hosts 1000 -cores 4 -dispatch RR -shards 16 -workload big.sftb
 //	sfs-sim -keepalive HIST -memory 4096 -arrivals trace
 //	sfs-sim -chain LINEAR -chain-depth 4 -sched SFS -load 0.9
 //	sfs-sim -chain DIAMOND -hosts 4 -dispatch WARMFIRST -keepalive TTL
@@ -117,7 +118,9 @@ func main() {
 		noHybrid   = flag.Bool("no-hybrid", false, "disable SFS overload fallback")
 		noIO       = flag.Bool("io-oblivious", false, "disable SFS I/O-aware polling")
 		ioFraction = flag.Float64("io-fraction", 0, "fraction of requests with one leading 10-100ms I/O op")
-		wlFile     = flag.String("workload", "", "replay a workload CSV (see faasbench export) instead of generating one")
+		wlFile     = flag.String("workload", "", "replay a workload trace, CSV or binary (see faasbench export/convert), instead of generating one")
+		shards     = flag.Int("shards", 0, "cluster mode: run the sharded parallel engine with this many shards (0 = serial)")
+		dispatchL  = flag.Duration("dispatch-latency", 0, "sharded mode: dispatcher->host latency and lookahead window (default 1ms)")
 		startRPS   = flag.Float64("start-rps", 50, "synth arrivals: starting RPS")
 		targetRPS  = flag.Float64("target-rps", 500, "synth arrivals: RPS at the end of the ramp")
 		horizon    = flag.Duration("horizon", 60*time.Second, "synth arrivals: trace span")
@@ -160,14 +163,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		tasks, err := workload.ReadCSV(f)
-		f.Close()
+		src, err := trace.DetectSource(f)
 		if err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tasks := trace.Collect(src)
+		f.Close()
+		if err := trace.Err(src); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		if *hosts > 1 {
-			runCluster(trace.FromTasks(*wlFile, tasks), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
+			runCluster(trace.FromTasks(*wlFile, tasks), *schedName, *dispatch, *hosts, *cores, *shards, *dispatchL, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
 			return
 		}
 		runReplay(tasks, *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
@@ -210,7 +219,7 @@ func main() {
 	}
 
 	if *hosts > 1 {
-		runCluster(w.Source(), *schedName, *dispatch, *hosts, *cores, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
+		runCluster(w.Source(), *schedName, *dispatch, *hosts, *cores, *shards, *dispatchL, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
 		return
 	}
 	runReplay(w.Clone(), *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
@@ -242,7 +251,7 @@ func mkFactory(schedName string, fixedSlice, poll time.Duration, noHybrid, noIO 
 
 // runCluster simulates the source across hosts behind the named
 // dispatch policy and reports merged plus per-host metrics.
-func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, seed uint64, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts, ch chainOpts) {
+func runCluster(src trace.Source, schedName, dispatch string, hosts, cores, shards int, dispatchLatency time.Duration, seed uint64, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts, ch chainOpts) {
 	factory, err := mkFactory(schedName, fixedSlice, poll, noHybrid, noIO)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -254,10 +263,12 @@ func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, 
 		os.Exit(1)
 	}
 	cfg := cluster.Config{
-		Hosts:        hosts,
-		CoresPerHost: cores,
-		NewScheduler: factory,
-		Dispatcher:   d,
+		Hosts:           hosts,
+		CoresPerHost:    cores,
+		NewScheduler:    factory,
+		Dispatcher:      d,
+		Shards:          shards,
+		DispatchLatency: dispatchLatency,
 	}
 	if ka.enabled() {
 		cfg.NewLifecycle = func() *lifecycle.Manager {
@@ -284,6 +295,9 @@ func runCluster(src trace.Source, schedName, dispatch string, hosts, cores int, 
 		os.Exit(1)
 	}
 	fmt.Printf("cluster: %d hosts x %d cores, %s dispatch, %s per host\n", hosts, cores, res.Dispatcher, res.Scheduler)
+	if res.Shards > 0 {
+		fmt.Printf("sharded engine: %d shards, %v lookahead\n", res.Shards, res.Lookahead)
+	}
 	fmt.Printf("simulated %v of virtual time in %v wall time\n",
 		res.Makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Print(res.RenderPerHost())

@@ -25,6 +25,14 @@
 // container expiry and pre-warm events are processed in the same global
 // time order, and sources are deterministic in their spec — so the same
 // spec/seed/host-count/policy yields identical metrics on every run.
+//
+// With Config.Shards > 0 the run switches to the sharded
+// discrete-event engine (sharded.go): hosts are partitioned into
+// shards that advance in parallel between epoch barriers spaced by the
+// modeled dispatch latency. Sharded output is deterministic in the
+// same strong sense — identical at any shard and worker count — but
+// models a non-zero dispatcher→host latency, so it is a distinct
+// (coarser-grained) simulation from the zero-latency serial path.
 package cluster
 
 import (
@@ -71,6 +79,21 @@ type Config struct {
 	// different hosts (and, with NewLifecycle set, hit per-host warm
 	// pools). Per-workflow end-to-end results land in Result.Workflows.
 	Chain *chain.Config
+	// Shards, when > 0, partitions the hosts into that many contiguous
+	// shards advanced in parallel between epoch barriers (see
+	// sharded.go). Shard counts above Hosts are clamped. 0 selects the
+	// legacy zero-latency serial loop.
+	Shards int
+	// DispatchLatency is the modeled dispatcher→host latency in sharded
+	// mode; it is the conservative lookahead between barriers, so every
+	// cross-shard interaction (central-queue claims, chain-stage
+	// handoffs) costs at least one latency. Zero defaults to
+	// DefaultDispatchLatency. Ignored when Shards == 0.
+	DispatchLatency time.Duration
+	// Workers caps the goroutines advancing shards inside a window in
+	// sharded mode; 0 uses GOMAXPROCS. Output is identical at any
+	// worker count. Ignored when Shards == 0.
+	Workers int
 }
 
 // host pairs one engine with its dispatch accounting and (optionally)
@@ -81,11 +104,18 @@ type host struct {
 	eng        *cpusim.Engine
 	mgr        *lifecycle.Manager // nil when lifecycle modeling is off
 	dispatched int
+	// pendingSub counts invocations assigned to this host but not yet
+	// submitted to its engine (sharded mode defers submission into the
+	// owning shard's window). Folding it into the dispatcher's view
+	// keeps same-window assignments visible to later placement
+	// decisions; it is always zero on the serial path and at barriers
+	// after a window has run.
+	pendingSub int
 }
 
 func (h *host) Index() int      { return h.idx }
 func (h *host) Cores() int      { return h.eng.NumCores() }
-func (h *host) InFlight() int   { return h.eng.Pending() }
+func (h *host) InFlight() int   { return h.eng.Pending() + h.pendingSub }
 func (h *host) BusyCores() int  { return h.eng.BusyCores() }
 func (h *host) Dispatched() int { return h.dispatched }
 
@@ -97,10 +127,21 @@ func (h *host) Warm(app string) int {
 }
 
 func (h *host) Queued() int {
-	if q := h.eng.Pending() - h.eng.BusyCores(); q > 0 {
+	if q := h.eng.Pending() + h.pendingSub - h.eng.BusyCores(); q > 0 {
 		return q
 	}
 	return 0
+}
+
+// key is the host's position in a next-event heap: idle hosts may hold
+// re-arming timer events (e.g. the SFS monitor); stepping those without
+// work would never terminate, exactly as cpusim.Engine.Run stops when
+// its pending count reaches zero. Park them at Infinity instead.
+func (h *host) key() simtime.Time {
+	if h.eng.Pending() == 0 {
+		return simtime.Infinity
+	}
+	return h.eng.NextEventTime()
 }
 
 // record remembers an invocation's pre-dispatch identity so metrics can
@@ -146,6 +187,11 @@ type Result struct {
 	// Workflows holds per-workflow end-to-end results when Config.Chain
 	// was set (empty otherwise).
 	Workflows metrics.WorkflowRun
+	// Shards records how many shards the run used (0 = serial path);
+	// Lookahead is the epoch-barrier lookahead that applied (zero on
+	// the serial path).
+	Shards    int
+	Lookahead time.Duration
 	// Aborted reports that the run ended with unfinished work: a
 	// deadline abort, or a host left stranded with pending tasks and no
 	// future events (a scheduler that parked work without re-arming).
@@ -212,6 +258,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Dispatcher == nil {
 		return nil, fmt.Errorf("cluster: Dispatcher is required")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("cluster: negative shard count %d", cfg.Shards)
+	}
+	if cfg.DispatchLatency < 0 {
+		return nil, fmt.Errorf("cluster: negative dispatch latency %v", cfg.DispatchLatency)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("cluster: negative worker count %d", cfg.Workers)
+	}
 	c := &Cluster{cfg: cfg}
 	if cfg.Chain != nil {
 		inj, err := chain.NewInjector(*cfg.Chain)
@@ -240,6 +295,9 @@ func New(cfg Config) (*Cluster, error) {
 // every host engine to completion in global virtual-time order. A
 // Cluster is single-use: build a fresh one per run.
 func (c *Cluster) Run(src trace.Source) (*Result, error) {
+	if c.cfg.Shards > 0 {
+		return c.runSharded(src)
+	}
 	deadline := c.cfg.Deadline
 	if deadline == 0 {
 		deadline = simtime.Infinity
@@ -285,16 +343,6 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 	// next-event heap: always knows the globally-earliest host event, so
 	// the main loop below peeks in O(1) instead of scanning every host.
 	hh := newHostHeap(len(c.hosts))
-	hostKey := func(h *host) simtime.Time {
-		// Idle hosts may hold re-arming timer events (e.g. the SFS
-		// monitor); stepping those without work would never terminate,
-		// exactly as cpusim.Engine.Run stops when its pending count
-		// reaches zero. Park them at Infinity instead.
-		if h.eng.Pending() == 0 {
-			return simtime.Infinity
-		}
-		return h.eng.NextEventTime()
-	}
 
 	// offer asks the dispatcher to place records[ri], parking it in the
 	// central queue on Hold.
@@ -335,7 +383,7 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 		}
 		c.hosts[idx].eng.Submit(rec.t)
 		c.hosts[idx].dispatched++
-		hh.update(idx, hostKey(c.hosts[idx]))
+		hh.update(idx, c.hosts[idx].key())
 		return true
 	}
 
@@ -386,7 +434,7 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 			h := c.hosts[heHost]
 			before := h.eng.Pending()
 			h.eng.StepEvent()
-			hh.update(heHost, hostKey(h))
+			hh.update(heHost, h.key())
 			if heTime > now {
 				now = heTime
 			}

@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/lifecycle"
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
+)
+
+// Sharded conservative parallel discrete-event simulation.
+//
+// Hosts are partitioned into contiguous shards, each owning a private
+// next-event heap over its hosts. Virtual time is cut into fixed
+// windows [k·L, (k+1)·L) where L is the modeled dispatcher→host
+// latency (Config.DispatchLatency): because every cluster-level
+// interaction — placement of an arrival, a central-queue claim, a
+// chain-stage handoff — takes at least L to reach a host, no event
+// inside a window can influence another shard within the same window.
+// That is the conservative lookahead: shards advance through a window
+// in parallel with no locks and no cross-shard reads.
+//
+// The coordinator runs single-threaded at each barrier. It advances
+// lifecycle clocks to the barrier, collects the window's completions
+// (merged across shards in (time, host, seq) order — seq being each
+// shard's append order, preserved by a stable sort), lets the chain
+// injector release downstream stages, re-offers centrally-held work,
+// admits every source arrival inside the next window, and hands each
+// assignment to the owning shard as a timestamped submission. Shards
+// interleave submissions with host events in exact time order (host
+// events first on ties, as on the serial path), so a host's event
+// sequence depends only on the submissions it receives — never on how
+// hosts are partitioned or which worker goroutine runs the shard.
+// Everything the coordinator computes (dispatch decisions, window
+// bounds, admission order) is a function of barrier-time state that is
+// itself shard-count-independent, so the same seed yields byte-
+// identical results at any -shards / -workers setting.
+//
+// Dispatch decisions observe host state as of the window boundary
+// (plus assignments already made this window, via host.pendingSub);
+// the serial path instead observes the exact decision instant. The
+// sharded engine therefore models a cluster whose dispatcher works
+// from slightly stale state — the price of the latency it models, not
+// a bug; determinism is defined within sharded mode, with -shards 1 as
+// the reference.
+
+// DefaultDispatchLatency is the sharded engine's lookahead when
+// Config.DispatchLatency is zero: the modeled minimum latency between
+// the cluster dispatcher and any host.
+const DefaultDispatchLatency = time.Millisecond
+
+// submission is one placed invocation traveling to its host: it was
+// assigned by the coordinator and will enter the host engine at `at`
+// during the owning shard's next window.
+type submission struct {
+	t    *task.Task
+	at   simtime.Time
+	host int // shard-local host index
+}
+
+// finishRec is one completion observed inside a window, reported to
+// the coordinator at the barrier for chain-stage release.
+type finishRec struct {
+	t    *task.Task
+	at   simtime.Time
+	host int // global host index
+}
+
+// shard owns a contiguous run of hosts and advances them through
+// barrier-delimited windows. Between barriers a shard is touched only
+// by its worker; at barriers only by the coordinator.
+type shard struct {
+	hosts   []*host
+	base    int // global index of hosts[0]
+	hh      *hostHeap
+	subs    []submission // time-ordered; coordinator appends, window consumes
+	subHead int
+	// finished and completions are the shard's barrier report: chain
+	// completions in observation order, and the count of tasks that
+	// left the engines this window (feeds central-queue re-offers).
+	finished    []finishRec
+	completions int
+	owner       map[*task.Task]*lifecycle.Container // nil without lifecycle
+}
+
+// advance runs the shard's hosts up to (but excluding) bound,
+// interleaving pending submissions with host events in time order.
+func (sh *shard) advance(bound simtime.Time) {
+	pendingBefore := 0
+	for _, h := range sh.hosts {
+		pendingBefore += h.eng.Pending()
+	}
+	submitted := 0
+	for {
+		hi, ht := sh.hh.min()
+		st := simtime.Infinity
+		if sh.subHead < len(sh.subs) {
+			st = sh.subs[sh.subHead].at
+		}
+		if ht >= bound && st >= bound {
+			break
+		}
+		if ht <= st {
+			// Host events fire before same-instant submissions, exactly
+			// as the serial loop fires host events before same-instant
+			// arrivals.
+			h := sh.hosts[hi]
+			h.eng.StepEvent()
+			sh.hh.update(hi, h.key())
+			continue
+		}
+		sub := sh.subs[sh.subHead]
+		sh.subHead++
+		h := sh.hosts[sub.host]
+		if h.mgr != nil {
+			// The host acquires a container at the submission instant; a
+			// cold start delays the moment the invocation is runnable.
+			delay, cont := h.mgr.Acquire(sub.at, sub.t.App)
+			sh.owner[sub.t] = cont
+			if delay > 0 {
+				sub.t.Arrival += delay
+			}
+		}
+		h.eng.Submit(sub.t)
+		h.pendingSub--
+		submitted++
+		sh.hh.update(sub.host, h.key())
+	}
+	pendingAfter := 0
+	for _, h := range sh.hosts {
+		pendingAfter += h.eng.Pending()
+	}
+	sh.completions += pendingBefore + submitted - pendingAfter
+	if sh.subHead == len(sh.subs) {
+		sh.subs = sh.subs[:0]
+		sh.subHead = 0
+	}
+}
+
+// runSharded is Run's sharded-mode twin: same contract, parallel
+// engine.
+func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
+	deadline := c.cfg.Deadline
+	if deadline == 0 {
+		deadline = simtime.Infinity
+	}
+	lookahead := c.cfg.DispatchLatency
+	if lookahead == 0 {
+		lookahead = DefaultDispatchLatency
+	}
+	nShards := c.cfg.Shards
+	if nShards > len(c.hosts) {
+		nShards = len(c.hosts)
+	}
+
+	// Contiguous partition, sizes differing by at most one.
+	shards := make([]*shard, nShards)
+	shardOf := make([]int, len(c.hosts))
+	per, rem := len(c.hosts)/nShards, len(c.hosts)%nShards
+	base := 0
+	for s := range shards {
+		n := per
+		if s < rem {
+			n++
+		}
+		sh := &shard{hosts: c.hosts[base : base+n], base: base, hh: newHostHeap(n)}
+		if c.cfg.NewLifecycle != nil {
+			sh.owner = map[*task.Task]*lifecycle.Container{}
+		}
+		for i := base; i < base+n; i++ {
+			shardOf[i] = s
+		}
+		shards[s] = sh
+		base += n
+	}
+
+	if c.cfg.NewLifecycle != nil || c.inj != nil {
+		for _, sh := range shards {
+			for li, h := range sh.hosts {
+				sh, h, gi := sh, h, sh.base+li
+				h.eng.SetTracer(func(ev cpusim.TraceEvent) {
+					if ev.Kind != cpusim.TraceFinish {
+						return
+					}
+					if sh.owner != nil {
+						if cont := sh.owner[ev.Task]; cont != nil {
+							h.mgr.Release(ev.At, cont)
+							delete(sh.owner, ev.Task)
+						}
+					}
+					if c.inj != nil {
+						sh.finished = append(sh.finished, finishRec{t: ev.Task, at: ev.At, host: gi})
+					}
+				})
+			}
+		}
+	}
+
+	var (
+		records []record
+		central []int // indices into records of held invocations, FIFO
+		maxQ    int
+		now     simtime.Time
+		aborted bool
+	)
+
+	// offer asks the dispatcher to place records[ri] as of the
+	// coordinator's current view, routing the assignment to the owning
+	// shard as a submission at `at`. Unlike the serial path, nothing
+	// touches the host engine here — the shard performs the acquire and
+	// submit inside its window.
+	offer := func(at simtime.Time, ri int) bool {
+		rec := &records[ri]
+		idx := c.cfg.Dispatcher.Pick(at, rec.t, c.views)
+		if idx == Hold {
+			return false
+		}
+		if idx < 0 || idx >= len(c.hosts) {
+			panic(fmt.Sprintf("cluster: dispatcher %s picked host %d of %d", c.cfg.Dispatcher.Name(), idx, len(c.hosts)))
+		}
+		rec.host = idx
+		rec.at = at
+		if at > rec.t.Arrival {
+			rec.t.Arrival = at
+		}
+		h := c.hosts[idx]
+		h.pendingSub++
+		h.dispatched++
+		sh := shards[shardOf[idx]]
+		sh.subs = append(sh.subs, submission{t: rec.t, at: at, host: idx - sh.base})
+		return true
+	}
+
+	drainCentral := func(at simtime.Time) {
+		for len(central) > 0 {
+			if !offer(at, central[0]) {
+				return
+			}
+			central = central[1:]
+		}
+	}
+
+	admit := func(t *task.Task, at simtime.Time) {
+		records = append(records, record{t: t, orig: t.Arrival, host: Hold, at: -1})
+		ri := len(records) - 1
+		if len(central) > 0 || !offer(at, ri) {
+			central = append(central, ri)
+			if len(central) > maxQ {
+				maxQ = len(central)
+			}
+		}
+	}
+
+	// Window execution: one persistent worker per strided shard group,
+	// synchronized by channel sends (which carry the happens-before
+	// edges that make barrier-time coordinator access race-free). The
+	// assignment of shards to workers affects neither results — shards
+	// are mutually independent within a window — nor the barrier
+	// algorithm, so any -workers value is byte-equivalent.
+	nWorkers := c.cfg.Workers
+	if nWorkers == 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if nWorkers > nShards {
+		nWorkers = nShards
+	}
+	runWindow := func(bound simtime.Time) {
+		for _, sh := range shards {
+			sh.advance(bound)
+		}
+	}
+	if nWorkers > 1 {
+		workCh := make([]chan simtime.Time, nWorkers)
+		doneCh := make(chan struct{}, nWorkers)
+		for w := 0; w < nWorkers; w++ {
+			workCh[w] = make(chan simtime.Time)
+			go func(w int) {
+				for bound := range workCh[w] {
+					for s := w; s < nShards; s += nWorkers {
+						shards[s].advance(bound)
+					}
+					doneCh <- struct{}{}
+				}
+			}(w)
+		}
+		defer func() {
+			for _, ch := range workCh {
+				close(ch)
+			}
+		}()
+		runWindow = func(bound simtime.Time) {
+			for _, ch := range workCh {
+				ch <- bound
+			}
+			for range workCh {
+				<-doneCh
+			}
+		}
+	}
+
+	next, more := src.Next()
+	for {
+		// ---- barrier: coordinator owns all state ----
+		if c.cfg.NewLifecycle != nil {
+			// One monotone advance per barrier; shards move each manager
+			// forward again during the window via Acquire/Release.
+			for _, h := range c.hosts {
+				h.mgr.AdvanceTo(now)
+			}
+		}
+
+		// Completions from the last window free capacity: held work gets
+		// first claim (FIFO), then chain stages released by those
+		// completions re-enter dispatch — the same order the serial loop
+		// uses within a single completion event.
+		completions := 0
+		for _, sh := range shards {
+			completions += sh.completions
+			sh.completions = 0
+		}
+		if completions > 0 {
+			drainCentral(now)
+		}
+		if c.inj != nil {
+			var finished []finishRec
+			for _, sh := range shards {
+				finished = append(finished, sh.finished...)
+				sh.finished = sh.finished[:0]
+			}
+			if len(finished) > 0 {
+				// Deterministic cross-shard merge in (time, host, seq)
+				// order: equal (time, host) entries come from one shard,
+				// whose append order the stable sort preserves.
+				sort.SliceStable(finished, func(i, j int) bool {
+					if finished[i].at != finished[j].at {
+						return finished[i].at < finished[j].at
+					}
+					return finished[i].host < finished[j].host
+				})
+				for _, fr := range finished {
+					for _, dt := range c.inj.OnFinish(fr.t) {
+						admit(dt, now)
+					}
+				}
+			}
+		}
+
+		// Earliest future event anywhere: source arrival, undelivered
+		// submission, or host engine event.
+		earliest := simtime.Infinity
+		if more {
+			earliest = next.Arrival
+		}
+		for _, sh := range shards {
+			if sh.subHead < len(sh.subs) {
+				if st := sh.subs[sh.subHead].at; st < earliest {
+					earliest = st
+				}
+			}
+			if _, ht := sh.hh.min(); ht < earliest {
+				earliest = ht
+			}
+		}
+		if earliest == simtime.Infinity {
+			if len(central) > 0 {
+				return nil, fmt.Errorf("cluster: dispatcher %s stalled with %d invocations held and all hosts idle",
+					c.cfg.Dispatcher.Name(), len(central))
+			}
+			break
+		}
+		if earliest > deadline {
+			aborted = true
+			break
+		}
+
+		// Next window on the fixed L-grid containing the earliest event;
+		// the fixed grid (rather than [earliest, earliest+L)) keeps
+		// window boundaries independent of per-window content.
+		t0 := earliest - earliest%lookahead
+		if t0 < now {
+			t0 = now
+		}
+		bound := t0 + lookahead
+		if bound < t0 {
+			bound = simtime.Infinity // overflow far beyond any trace
+		}
+		if deadline != simtime.Infinity && bound > deadline+1 {
+			// Never simulate past the deadline; the next barrier aborts.
+			bound = deadline + 1
+		}
+
+		// Admit every arrival inside the window. Placement sees host
+		// state as of `now` plus this window's own assignments.
+		for more && next.Arrival < bound {
+			if c.inj != nil {
+				for _, rt := range c.inj.Expand(next) {
+					admit(rt, next.Arrival)
+				}
+			} else {
+				admit(next, next.Arrival)
+			}
+			next, more = src.Next()
+		}
+
+		// ---- window: shards advance in parallel ----
+		runWindow(bound)
+		now = bound
+	}
+
+	if err := trace.Err(src); err != nil {
+		return nil, err
+	}
+	for _, h := range c.hosts {
+		if h.eng.Pending() > 0 {
+			aborted = true
+		}
+	}
+
+	res := c.result(records, maxQ, aborted)
+	res.Shards = nShards
+	res.Lookahead = lookahead
+	return res, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/serverless-sched/sfs/internal/chain"
+	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/schedulers"
@@ -49,17 +50,29 @@ func runChainSlowdown(cfg Config) *Report {
 	}
 	rep.Header = []string{"sched", "depth", "load", "wf p50", "wf p99", "wf mean", "mean slowdown", "p99 slowdown"}
 
+	// Beyond the single-host sweep, a 64-host fleet behind JSQ dispatch
+	// shows how end-to-end slowdown behaves when every stage also pays a
+	// placement decision. The fleet runs on the sharded parallel engine
+	// (deterministic at any shard count), so scaling the sweep to 64
+	// hosts costs wall-clock, not reproducibility.
+	const fleetHosts, fleetCores, fleetShards = 64, 2, 8
+
 	type cell struct {
 		sched string
 		depth int
 		load  float64
+		fleet bool // 64-host sharded JSQ fleet instead of one host
 	}
 	var cells []cell
 	for _, depth := range depths {
 		for _, load := range loads {
 			for _, sched := range chainSchedulers {
-				cells = append(cells, cell{sched, depth, load})
+				cells = append(cells, cell{sched, depth, load, false})
 			}
+		}
+		// Fleet cells: SFS vs CFS at the highest load only.
+		for _, sched := range []string{"SFS", "CFS"} {
+			cells = append(cells, cell{sched, depth, loads[len(loads)-1], true})
 		}
 	}
 
@@ -70,32 +83,70 @@ func runChainSlowdown(cfg Config) *Report {
 	results := make([]cellResult, len(cells))
 	cfg.fan(len(cells), func(i int) {
 		c := cells[i]
+		simCores := cores
+		if c.fleet {
+			simCores = fleetHosts * fleetCores
+		}
 		src, ccfg, err := workload.ChainStream(workload.ChainSpec{
-			N: n, Cores: cores, Load: derate(c.load),
+			N: n, Cores: simCores, Load: derate(c.load),
 			Family: "LINEAR", Depth: c.depth, Seed: cfg.Seed,
 		})
 		if err != nil {
 			panic(err)
 		}
-		inj, err := chain.NewInjector(ccfg)
-		if err != nil {
-			panic(err)
+		var wfr metrics.WorkflowRun
+		if c.fleet {
+			d, err := cluster.NewDispatcher("JSQ", cluster.FactoryConfig{Hosts: fleetHosts, Seed: cfg.Seed})
+			if err != nil {
+				panic(err)
+			}
+			cl, err := cluster.New(cluster.Config{
+				Hosts:        fleetHosts,
+				CoresPerHost: fleetCores,
+				NewScheduler: func() cpusim.Scheduler {
+					s, err := schedulers.New(c.sched)
+					if err != nil {
+						panic(err)
+					}
+					return s
+				},
+				Dispatcher: d,
+				Chain:      &ccfg,
+				Shards:     fleetShards,
+			})
+			if err != nil {
+				panic(err)
+			}
+			res, err := cl.Run(src)
+			if err != nil {
+				panic(err)
+			}
+			wfr = res.Workflows
+		} else {
+			inj, err := chain.NewInjector(ccfg)
+			if err != nil {
+				panic(err)
+			}
+			s, err := schedulers.New(c.sched)
+			if err != nil {
+				panic(err)
+			}
+			eng := cpusim.NewEngine(cpusim.Config{Cores: cores}, s)
+			if _, err := chain.Run(src, inj, nil, eng); err != nil {
+				panic(err)
+			}
+			wfr = metrics.WorkflowRun{Scheduler: c.sched, Workflows: inj.Workflows()}
 		}
-		s, err := schedulers.New(c.sched)
-		if err != nil {
-			panic(err)
-		}
-		eng := cpusim.NewEngine(cpusim.Config{Cores: cores}, s)
-		if _, err := chain.Run(src, inj, nil, eng); err != nil {
-			panic(err)
-		}
-		wfr := metrics.WorkflowRun{Scheduler: c.sched, Workflows: inj.Workflows()}
 		sum := wfr.Summarize(50, 99)
 		ps := sum.Percentiles()
 		slow := wfr.SlowdownPercentiles(99)
+		label := c.sched
+		if c.fleet {
+			label = fmt.Sprintf("%s@%dx%d", c.sched, fleetHosts, fleetCores)
+		}
 		results[i] = cellResult{
 			row: []string{
-				c.sched,
+				label,
 				fmt.Sprintf("%d", c.depth),
 				fmt.Sprintf("%.0f%%", c.load*100),
 				metrics.FormatDuration(ps[0]),
@@ -114,9 +165,14 @@ func runChainSlowdown(cfg Config) *Report {
 		load  float64
 	}
 	mean := map[key]float64{}
+	fleetMean := map[key]float64{}
 	for i, c := range cells {
 		rep.Rows = append(rep.Rows, results[i].row)
-		mean[key{c.sched, c.depth, c.load}] = results[i].mean
+		if c.fleet {
+			fleetMean[key{c.sched, c.depth, c.load}] = results[i].mean
+		} else {
+			mean[key{c.sched, c.depth, c.load}] = results[i].mean
+		}
 	}
 
 	// The headline assertion: SFS <= CFS on mean end-to-end slowdown at
@@ -133,6 +189,16 @@ func runChainSlowdown(cfg Config) *Report {
 				"depth %d @ %.0f%%: SFS mean e2e slowdown %.2fx <= CFS %.2fx — %s",
 				depth, load*100, sfs, cfs, status))
 		}
+	}
+	// The fleet comparison is reported, not asserted: cluster-level
+	// dispatch adds placement effects the single-host ordering claim
+	// does not cover.
+	for _, depth := range depths {
+		fl := loads[len(loads)-1]
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"fleet %dx%d @ depth %d: SFS mean e2e slowdown %.2fx vs CFS %.2fx (sharded JSQ dispatch, %d shards)",
+			fleetHosts, fleetCores, depth,
+			fleetMean[key{"SFS", depth, fl}], fleetMean[key{"CFS", depth, fl}], fleetShards))
 	}
 	// Compounding: the CFS-over-SFS advantage from the shallowest to the
 	// deepest chain at the highest load.

@@ -53,6 +53,13 @@ type Report struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string // measured headline numbers, paper-vs-measured
+
+	// WallClock is how long the experiment took, stamped by
+	// RunAll/RunOne. It is deliberately absent from Render and CSV:
+	// rendered bytes must be a pure function of (seed, scale) — the
+	// DeterministicBytes contract perfbench asserts — and wall-clock
+	// time never is. cmd/experiments prints it on its own line instead.
+	WallClock time.Duration
 }
 
 // Render produces the textual form printed by cmd/experiments.

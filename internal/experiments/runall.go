@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the deterministic parallel runner. Two rules make
@@ -138,7 +139,10 @@ func RunAll(cfg Config, workers int) []*Report {
 	reports := make([]*Report, len(exps))
 	cfg.pool = NewPool(workers)
 	cfg.pool.Fan(len(exps), func(i int) {
-		reports[i] = exps[i].Run(cfg.ForExperiment(exps[i].ID))
+		start := time.Now()
+		rep := exps[i].Run(cfg.ForExperiment(exps[i].ID))
+		rep.WallClock = time.Since(start)
+		reports[i] = rep
 	})
 	return reports
 }
@@ -148,5 +152,8 @@ func RunAll(cfg Config, workers int) []*Report {
 // reproduces that slice of the full sweep byte for byte.
 func RunOne(cfg Config, e Experiment, workers int) *Report {
 	cfg.pool = NewPool(workers)
-	return e.Run(cfg.ForExperiment(e.ID))
+	start := time.Now()
+	rep := e.Run(cfg.ForExperiment(e.ID))
+	rep.WallClock = time.Since(start)
+	return rep
 }

@@ -5,9 +5,9 @@
 // results as a machine-readable BENCH_<date>.json. Checked-in BENCH
 // files form the project's performance trajectory and are recorded at
 // quick scale (Compare refuses quick-vs-full comparisons); CI
-// regenerates the measurements on every push and fails when the
-// engine-step benchmark regresses more than a configured fraction
-// against the newest checked-in baseline (see Compare).
+// regenerates the measurements on every push and fails when any gated
+// benchmark (see GatedBenchmarks) regresses more than a configured
+// fraction against the newest checked-in baseline (see Compare).
 //
 // The scenarios are ordinary testing.B functions, so `go test -bench`
 // exercises the exact same code through bench_test.go while cmd/perfbench
@@ -36,9 +36,21 @@ import (
 	"github.com/serverless-sched/sfs/internal/workload"
 )
 
-// EngineStepBenchmark is the name of the benchmark the CI regression
-// gate watches.
+// EngineStepBenchmark is the name of the single-host benchmark the CI
+// regression gate has watched since the gate existed.
 const EngineStepBenchmark = "engine-step"
+
+// GatedBenchmarks lists every benchmark the CI regression gate fails
+// on. The heavyweight cluster-1m scenario is deliberately absent: it
+// runs one multi-second iteration, which is too noisy to gate at 25%.
+func GatedBenchmarks() []string {
+	return []string{
+		EngineStepBenchmark,
+		"sharded-cluster",
+		"trace-binary-decode",
+		"trace-binary-encode",
+	}
+}
 
 // Options parameterizes a harness run.
 type Options struct {
@@ -56,6 +68,10 @@ type Options struct {
 	// SkipExperiments skips the experiment-suite wall-clock phase
 	// (used by unit tests that only need the micro-benchmarks).
 	SkipExperiments bool
+	// SkipHeavy skips scenarios marked Heavy (the 1M-invocation cluster
+	// run); unit tests and exploratory runs use this to stay fast while
+	// the checked-in trajectory reports keep the full set.
+	SkipHeavy bool
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -67,6 +83,10 @@ type Benchmark struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	// Shards records the simulation shard count a cluster scenario ran
+	// with (0 for serial/non-cluster scenarios), so cross-host baseline
+	// comparisons know the parallelism the number was measured at.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ExperimentTiming records the experiment suite's wall-clock at one and
@@ -87,8 +107,15 @@ type Report struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	CPUs      int    `json:"cpus"`
-	Quick     bool   `json:"quick"`
-	Seed      uint64 `json:"seed"`
+	// GoMaxProcs is the scheduler parallelism the harness actually ran
+	// with — distinct from CPUs (the physical count): on a 1-CPU box the
+	// sharded scenarios execute their windows serially, so their ns/op
+	// carries no parallel speedup. Notes records that caveat when it
+	// applies.
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	Notes      []string `json:"notes,omitempty"`
+	Quick      bool     `json:"quick"`
+	Seed       uint64   `json:"seed"`
 	// CalibrationNsPerOp measures a fixed pure-CPU integer loop on the
 	// machine that produced the report. Compare uses the ratio of
 	// calibrations to normalize ns/op across machines, so a baseline
@@ -124,6 +151,12 @@ func calibrate() float64 {
 type Scenario struct {
 	Name  string
 	Bench func(b *testing.B)
+	// Shards is the simulation shard count the scenario drives (0 for
+	// serial scenarios); recorded into the Benchmark measurement.
+	Shards int
+	// Heavy marks scenarios too large for unit-test and -short runs
+	// (see Options.SkipHeavy).
+	Heavy bool
 }
 
 // size picks a scenario scale.
@@ -217,7 +250,46 @@ func Scenarios(quick bool, seed uint64) []Scenario {
 			},
 		},
 		{
-			// One op = parsing a pre-rendered CSV trace back into tasks.
+			// One op = a 64-host fleet run through the sharded
+			// epoch-barrier engine (8 shards): the parallel simulation
+			// hot path — per-shard heaps, window advance, barrier-time
+			// dispatch — at a fleet size the serial loop was never
+			// meant for.
+			Name:   "sharded-cluster",
+			Shards: 8,
+			Bench: func(b *testing.B) {
+				const hosts, cores = 64, 2
+				n := size(quick, 16000)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d, err := cluster.NewDispatcher("JSQ", cluster.FactoryConfig{Hosts: hosts, Seed: seed})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cl, err := cluster.New(cluster.Config{
+						Hosts: hosts, CoresPerHost: cores,
+						NewScheduler: func() cpusim.Scheduler { return core.New(core.DefaultConfig()) },
+						Dispatcher:   d,
+						Shards:       8,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					src := workload.AzureSampledStream(workload.AzureSampledSpec{
+						N: n, Cores: hosts * cores, Load: 1.0, Seed: seed,
+					})
+					if _, err := cl.Run(src); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tasks/s")
+			},
+		},
+		{
+			// One op = loading a pre-rendered CSV trace into a
+			// replay-ready struct-of-arrays tape — the same artifact the
+			// binary scenario below produces, so the two ns/op divide
+			// into the codec speedup directly.
 			Name: "trace-decode",
 			Bench: func(b *testing.B) {
 				n := size(quick, 8000)
@@ -235,13 +307,12 @@ func Scenarios(quick bool, seed uint64) []Scenario {
 					if err != nil {
 						b.Fatal(err)
 					}
-					for {
-						if _, ok := src.Next(); !ok {
-							break
-						}
-					}
-					if err := trace.Err(src); err != nil {
+					tp, err := trace.TapeFrom(src)
+					if err != nil {
 						b.Fatal(err)
+					}
+					if tp.Len() != n {
+						b.Fatalf("decoded %d tasks, want %d", tp.Len(), n)
 					}
 				}
 			},
@@ -259,6 +330,97 @@ func Scenarios(quick bool, seed uint64) []Scenario {
 						b.Fatal(err)
 					}
 				}
+			},
+		},
+		{
+			// One op = loading a pre-rendered binary (SFTB) trace into a
+			// replay-ready struct-of-arrays tape via the columnar decoder
+			// (no per-record task materialization — task structs come out
+			// of the arena during replay, measured by cluster-1m). Same
+			// workload, same scale, same output artifact as trace-decode,
+			// so the two ns/op divide into the codec speedup directly.
+			Name: "trace-binary-decode",
+			Bench: func(b *testing.B) {
+				n := size(quick, 8000)
+				var buf bytes.Buffer
+				if _, err := trace.WriteBinary(&buf, workload.Stream(workload.Spec{
+					N: n, Cores: 16, Load: 0.9, Seed: seed,
+				})); err != nil {
+					b.Fatal(err)
+				}
+				raw := buf.Bytes()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tp, err := trace.ReadBinaryTape(bytes.NewReader(raw))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if tp.Len() != n {
+						b.Fatalf("decoded %d tasks, want %d", tp.Len(), n)
+					}
+				}
+			},
+		},
+		{
+			// One op = streaming a materialized workload out as binary.
+			Name: "trace-binary-encode",
+			Bench: func(b *testing.B) {
+				n := size(quick, 8000)
+				w := workload.Generate(workload.Spec{N: n, Cores: 16, Load: 0.9, Seed: seed})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := trace.WriteBinary(io.Discard, w.Source()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// One op = the headline datacenter-scale run: one million
+			// invocations across one thousand hosts through the sharded
+			// engine, replayed from a struct-of-arrays tape via a block
+			// arena. Heavy: it stays at full scale even in quick mode
+			// (the point is proving the scale completes), runs a single
+			// iteration, and is excluded from the regression gate.
+			Name:   "cluster-1m",
+			Shards: 16,
+			Heavy:  true,
+			Bench: func(b *testing.B) {
+				const hosts, cores, n = 1000, 4, 1_000_000
+				tape, err := trace.TapeFrom(workload.Stream(workload.Spec{
+					N: n, Cores: hosts * cores, Load: 1.0, Seed: seed,
+				}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d, err := cluster.NewDispatcher("RR", cluster.FactoryConfig{Hosts: hosts, Seed: seed})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cl, err := cluster.New(cluster.Config{
+						Hosts: hosts, CoresPerHost: cores,
+						NewScheduler:    func() cpusim.Scheduler { return core.New(core.DefaultConfig()) },
+						Dispatcher:      d,
+						Shards:          16,
+						DispatchLatency: 5 * time.Millisecond,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := cl.Run(tape.Source())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Aborted {
+						b.Fatal("cluster-1m run aborted")
+					}
+				}
+				b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tasks/s")
 			},
 		},
 		{
@@ -290,13 +452,18 @@ func Scenarios(quick bool, seed uint64) []Scenario {
 // disk; see WriteFile).
 func Run(opts Options) (*Report, error) {
 	rep := &Report{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Quick:     opts.Quick,
-		Seed:      opts.Seed,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      opts.Quick,
+		Seed:       opts.Seed,
+	}
+	if rep.GoMaxProcs == 1 {
+		rep.Notes = append(rep.Notes,
+			"GOMAXPROCS=1: sharded scenarios ran their windows serially; ns/op carries no parallel speedup on this box")
 	}
 	logf := func(format string, args ...any) {
 		if opts.Log != nil {
@@ -309,6 +476,10 @@ func Run(opts Options) (*Report, error) {
 		"calibration", rep.CalibrationNsPerOp)
 
 	for _, s := range Scenarios(opts.Quick, opts.Seed) {
+		if s.Heavy && opts.SkipHeavy {
+			logf("%-18s skipped (heavy)", s.Name)
+			continue
+		}
 		res := testing.Benchmark(s.Bench)
 		if res.N == 0 {
 			return nil, fmt.Errorf("perfbench: scenario %s did not run (panic or Fatal inside benchmark)", s.Name)
@@ -319,6 +490,7 @@ func Run(opts Options) (*Report, error) {
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			Iterations:  res.N,
+			Shards:      s.Shards,
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)
 		logf("%-18s %12.0f ns/op %10d allocs/op %12d B/op (n=%d)",

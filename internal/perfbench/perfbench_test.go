@@ -124,9 +124,16 @@ func TestScenariosComplete(t *testing.T) {
 	for _, s := range Scenarios(true, 42) {
 		names[s.Name] = true
 	}
-	for _, want := range []string{EngineStepBenchmark, "cluster-dispatch", "chain-run", "trace-decode", "trace-encode", "metrics-summary"} {
+	for _, want := range []string{EngineStepBenchmark, "cluster-dispatch", "sharded-cluster", "chain-run",
+		"trace-decode", "trace-encode", "trace-binary-decode", "trace-binary-encode", "cluster-1m", "metrics-summary"} {
 		if !names[want] {
 			t.Errorf("scenario %q missing", want)
+		}
+	}
+	// Every gated benchmark must exist as a scenario.
+	for _, want := range GatedBenchmarks() {
+		if !names[want] {
+			t.Errorf("gated benchmark %q has no scenario", want)
 		}
 	}
 }
@@ -137,12 +144,18 @@ func TestRunQuickMicro(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every micro-benchmark")
 	}
-	rep, err := Run(Options{Quick: true, Seed: 42, SkipExperiments: true})
+	rep, err := Run(Options{Quick: true, Seed: 42, SkipExperiments: true, SkipHeavy: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != len(Scenarios(true, 42)) {
-		t.Fatalf("measured %d of %d scenarios", len(rep.Benchmarks), len(Scenarios(true, 42)))
+	light := 0
+	for _, s := range Scenarios(true, 42) {
+		if !s.Heavy {
+			light++
+		}
+	}
+	if len(rep.Benchmarks) != light {
+		t.Fatalf("measured %d of %d non-heavy scenarios", len(rep.Benchmarks), light)
 	}
 	for _, b := range rep.Benchmarks {
 		if b.NsPerOp <= 0 || b.Iterations <= 0 {

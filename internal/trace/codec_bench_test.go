@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// benchTasks builds a representative trace: interleaved apps, spread
+// arrivals, a sprinkling of IO ops.
+func benchTasks(n int) []*task.Task {
+	apps := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	tasks := make([]*task.Task, n)
+	at := time.Duration(0)
+	for i := range tasks {
+		at += time.Duration(1+i%7) * time.Millisecond
+		t := task.New(i+1, simtime.Time(at), time.Duration(5+i%40)*time.Millisecond)
+		t.App = apps[i%len(apps)]
+		if i%8 == 0 {
+			t.IOOps = []task.IOOp{{At: time.Millisecond, Dur: 3 * time.Millisecond}}
+		}
+		tasks[i] = t
+	}
+	return tasks
+}
+
+func benchEncode(b *testing.B, n int, write func(io.Writer, Source) (int, error)) {
+	tasks := benchTasks(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := write(io.Discard, FromTasks("bench", tasks)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecode(b *testing.B, n int, write func(io.Writer, Source) (int, error), open func(io.Reader) (Source, error)) {
+	var buf bytes.Buffer
+	if _, err := write(&buf, FromTasks("bench", benchTasks(n))); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := open(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+		}
+		if err := Err(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDecodeTape measures the load-to-tape path: archival bytes to a
+// replay-ready struct-of-arrays Tape, the form both codecs feed large
+// replays through.
+func benchDecodeTape(b *testing.B, n int, write func(io.Writer, Source) (int, error), load func(io.Reader) (*Tape, error)) {
+	var buf bytes.Buffer
+	if _, err := write(&buf, FromTasks("bench", benchTasks(n))); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp, err := load(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tp.Len() != n {
+			b.Fatalf("loaded %d tasks, want %d", tp.Len(), n)
+		}
+	}
+}
+
+func openCSV(r io.Reader) (Source, error)    { return NewCSVSource(r) }
+func openBinary(r io.Reader) (Source, error) { return NewBinarySource(r) }
+
+func loadCSVTape(r io.Reader) (*Tape, error) {
+	src, err := NewCSVSource(r)
+	if err != nil {
+		return nil, err
+	}
+	return TapeFrom(src)
+}
+
+func BenchmarkCSVEncode(b *testing.B)        { benchEncode(b, 8000, WriteCSV) }
+func BenchmarkBinaryEncode(b *testing.B)     { benchEncode(b, 8000, WriteBinary) }
+func BenchmarkCSVDecode(b *testing.B)        { benchDecode(b, 8000, WriteCSV, openCSV) }
+func BenchmarkBinaryDecode(b *testing.B)     { benchDecode(b, 8000, WriteBinary, openBinary) }
+func BenchmarkCSVDecodeTape(b *testing.B)    { benchDecodeTape(b, 8000, WriteCSV, loadCSVTape) }
+func BenchmarkBinaryDecodeTape(b *testing.B) { benchDecodeTape(b, 8000, WriteBinary, ReadBinaryTape) }

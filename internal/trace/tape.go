@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// Tape is a struct-of-arrays snapshot of a trace: one column per hot
+// task-definition field, I/O ops flattened into shared columns indexed
+// by per-task offsets, and app names interned into a string table.
+// A million-invocation workload is a dozen large slices instead of a
+// million heap objects, and replaying it allocates task structs from a
+// block arena rather than re-parsing or re-cloning anything.
+type Tape struct {
+	ids       []int64
+	appIdx    []int32 // index into apps; -1 for the empty app
+	apps      []string
+	appOf     map[string]int32
+	arrivalNS []int64
+	serviceNS []int64
+	weights   []int32
+	ioOff     []int32 // len = Len()+1; ops of task i are [ioOff[i], ioOff[i+1])
+	ioAtNS    []int64
+	ioDurNS   []int64
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape {
+	return &Tape{appOf: map[string]int32{}, ioOff: []int32{0}}
+}
+
+// Append copies one task definition onto the tape.
+func (tp *Tape) Append(t *task.Task) {
+	tp.ids = append(tp.ids, int64(t.ID))
+	ai := int32(-1)
+	if t.App != "" {
+		var ok bool
+		if ai, ok = tp.appOf[t.App]; !ok {
+			ai = int32(len(tp.apps))
+			tp.apps = append(tp.apps, t.App)
+			tp.appOf[t.App] = ai
+		}
+	}
+	tp.appIdx = append(tp.appIdx, ai)
+	tp.arrivalNS = append(tp.arrivalNS, int64(t.Arrival))
+	tp.serviceNS = append(tp.serviceNS, int64(t.Service))
+	tp.weights = append(tp.weights, int32(t.Weight))
+	for _, op := range t.IOOps {
+		tp.ioAtNS = append(tp.ioAtNS, int64(op.At))
+		tp.ioDurNS = append(tp.ioDurNS, int64(op.Dur))
+	}
+	tp.ioOff = append(tp.ioOff, int32(len(tp.ioAtNS)))
+}
+
+// Len returns the number of invocations on the tape.
+func (tp *Tape) Len() int { return len(tp.ids) }
+
+// TapeFrom drains a source onto a fresh tape. Mid-stream source
+// failures are reported via trace.Err semantics.
+func TapeFrom(src Source) (*Tape, error) {
+	tp := NewTape()
+	for {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		tp.Append(t)
+	}
+	if err := Err(src); err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
+// Materialize builds the full task slice from the tape, allocating
+// every task and I/O slice out of a (arena-reset-reusable) block
+// arena. Passing nil uses a fresh arena.
+func (tp *Tape) Materialize(a *task.Arena) []*task.Task {
+	if a == nil {
+		a = task.NewArena()
+	}
+	out := make([]*task.Task, tp.Len())
+	for i := range out {
+		out[i] = tp.task(a, i)
+	}
+	return out
+}
+
+// task materializes invocation i from the arena.
+func (tp *Tape) task(a *task.Arena, i int) *task.Task {
+	t := a.New(int(tp.ids[i]), simtime.Time(tp.arrivalNS[i]), time.Duration(tp.serviceNS[i]))
+	if ai := tp.appIdx[i]; ai >= 0 {
+		t.App = tp.apps[ai]
+	}
+	t.Weight = int(tp.weights[i])
+	lo, hi := tp.ioOff[i], tp.ioOff[i+1]
+	if hi > lo {
+		ops := a.IO(int(hi - lo))
+		for j := range ops {
+			ops[j] = task.IOOp{
+				At:  time.Duration(tp.ioAtNS[lo+int32(j)]),
+				Dur: time.Duration(tp.ioDurNS[lo+int32(j)]),
+			}
+		}
+		t.IOOps = ops
+	}
+	return t
+}
+
+// Source replays the tape as a fresh Source, materializing one task per
+// Next out of a private arena — the tape-backed equivalent of
+// FromTasks without the per-task clone allocations.
+func (tp *Tape) Source() Source {
+	a := task.NewArena()
+	i := 0
+	return New("tape", func() (*task.Task, bool) {
+		if i >= tp.Len() {
+			return nil, false
+		}
+		t := tp.task(a, i)
+		i++
+		return t, true
+	})
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// TestReadBinaryTapeMatchesReadBinary pins the two binary decode
+// sinks to each other: the columnar tape loader must describe exactly
+// the tasks the streaming source materializes, and must surface the
+// same decode errors.
+func TestReadBinaryTapeMatchesReadBinary(t *testing.T) {
+	raw := encodeBinary(t, binFixture())
+	want, err := ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	tp, err := ReadBinaryTape(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadBinaryTape: %v", err)
+	}
+	got := tp.Materialize(nil)
+	if len(got) != len(want) {
+		t.Fatalf("tape materialized %d tasks, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.ID != w.ID || g.App != w.App || g.Arrival != w.Arrival || g.Service != w.Service || g.Weight != w.Weight {
+			t.Errorf("task %d: got %v, want %v", i, g, w)
+		}
+		if len(g.IOOps) != len(w.IOOps) {
+			t.Fatalf("task %d: %d io ops, want %d", i, len(g.IOOps), len(w.IOOps))
+		}
+		for j := range w.IOOps {
+			if g.IOOps[j] != w.IOOps[j] {
+				t.Errorf("task %d op %d: got %+v, want %+v", i, j, g.IOOps[j], w.IOOps[j])
+			}
+		}
+	}
+	// Re-encoding the tape must reproduce the original bytes, the same
+	// fixed point the streaming decoder guarantees.
+	var again bytes.Buffer
+	if _, err := WriteBinary(&again, tp.Source()); err != nil {
+		t.Fatalf("re-encode from tape: %v", err)
+	}
+	if !bytes.Equal(raw, again.Bytes()) {
+		t.Fatalf("tape re-encode not byte-identical")
+	}
+	// Error parity with the streaming decoder: truncation mid-record and
+	// invalid records must fail the tape load too.
+	if _, err := ReadBinaryTape(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Error("truncated trace loaded onto tape with no error")
+	}
+	var zero bytes.Buffer
+	if _, err := WriteBinary(&zero, New("bad", oneShot(task.New(1, 0, 0)))); err != nil {
+		t.Fatalf("encoding zero-service task: %v", err)
+	}
+	if _, err := ReadBinaryTape(bytes.NewReader(zero.Bytes())); err == nil || !strings.Contains(err.Error(), "record 1") {
+		t.Errorf("zero-service tape load error = %v, want record-numbered failure", err)
+	}
+	if _, err := ReadBinaryTape(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad header accepted by ReadBinaryTape")
+	}
+}
+
+func TestTapeMaterializeMatchesClone(t *testing.T) {
+	tasks := binFixture()
+	tp, err := TapeFrom(FromTasks("fixture", tasks))
+	if err != nil {
+		t.Fatalf("TapeFrom: %v", err)
+	}
+	if tp.Len() != len(tasks) {
+		t.Fatalf("Len = %d, want %d", tp.Len(), len(tasks))
+	}
+	check := func(got []*task.Task) {
+		t.Helper()
+		if len(got) != len(tasks) {
+			t.Fatalf("materialized %d tasks, want %d", len(got), len(tasks))
+		}
+		for i, w := range tasks {
+			g := got[i]
+			if g.ID != w.ID || g.App != w.App || g.Arrival != w.Arrival || g.Service != w.Service || g.Weight != w.Weight {
+				t.Errorf("task %d: got %v, want %v", i, g, w)
+			}
+			if len(g.IOOps) != len(w.IOOps) {
+				t.Fatalf("task %d: %d io ops, want %d", i, len(g.IOOps), len(w.IOOps))
+			}
+			for j := range w.IOOps {
+				if g.IOOps[j] != w.IOOps[j] {
+					t.Errorf("task %d op %d: got %+v, want %+v", i, j, g.IOOps[j], w.IOOps[j])
+				}
+			}
+		}
+	}
+	check(tp.Materialize(nil))
+	// Arena reuse: a second materialization through a reset arena must
+	// produce the same definitions.
+	a := task.NewArena()
+	tp.Materialize(a)
+	a.Reset()
+	check(tp.Materialize(a))
+	check(Collect(tp.Source()))
+	// App interning: repeated names share one table entry.
+	if len(tp.apps) != 2 {
+		t.Fatalf("app table has %d entries, want 2: %v", len(tp.apps), tp.apps)
+	}
+}
