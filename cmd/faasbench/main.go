@@ -16,19 +16,32 @@
 //	                                       # -shards N runs the sharded engine
 //	faasbench chain   [flags]              # expand each request into a -family
 //	                                       # workflow and report end-to-end stats
+//	faasbench ingest  -invocations f.csv   # stream a real Azure Functions 2019
+//	                                       # dataset CSV onto a replayable trace
 //
 // Scenario families (-arrivals):
 //
-//	poisson   Table I durations, Poisson IATs calibrated to -load
-//	trace     Azure-sampled bursty arrivals (§VII), optional -spikes
-//	synth     explicit RPS profile: -shape constant|ramp|step|sine,
-//	          -start-rps/-target-rps over -horizon (or -slots × -slot-dur,
-//	          the invitro synthesizer's RPS-slot staircase)
+//	poisson      Table I durations, Poisson IATs calibrated to -load
+//	trace        Azure-sampled bursty arrivals (§VII), optional -spikes
+//	synth        explicit RPS profile: -shape constant|ramp|step|sine,
+//	             -start-rps/-target-rps over -horizon (or -slots × -slot-dur,
+//	             the invitro synthesizer's RPS-slot staircase)
+//	diurnal      sine-on-trend day/night cycle with a weekend dip
+//	flashcrowd   exponential-decay 50x spikes with correlated app skew
+//	multitenant  one heavy bursty tenant against many light steady ones
+//	trigger      timer/queue/http mixes; under chain, each class feeds its
+//	             own workflow shape
 //
 // Examples:
 //
 //	faasbench gen -n 10000 -cores 16 -load 0.8
 //	faasbench gen -arrivals trace -spikes 5
+//	faasbench gen -arrivals diurnal -n 100000 -cores 16 -load 0.7
+//	faasbench cluster -arrivals flashcrowd -hosts 8 -dispatch JSQ
+//	faasbench chain -arrivals trigger -sched SFS -n 20000
+//	faasbench ingest -invocations invocations_per_function_md.anon.d01.csv \
+//	    -durations function_durations_percentiles.anon.d01.csv \
+//	    -minutes 540:600 -scale 0.1 -o azure-d01.sftb
 //	faasbench export -arrivals synth -shape ramp -start-rps 50 -target-rps 500 -horizon 60s -o ramp.csv
 //	faasbench replay -in ramp.csv -sched SFS -cores 16
 //	faasbench replay -in ramp.csv -sched SFS -keepalive HIST -memory 2048
@@ -49,6 +62,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/azure"
 	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/cpusim"
@@ -125,8 +139,10 @@ func main() {
 		cmdCluster(args)
 	case "chain":
 		cmdChain(args)
+	case "ingest":
+		cmdIngest(args)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want gen, export, replay, convert, cluster, or chain)\n", cmd)
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want gen, export, replay, convert, cluster, chain, or ingest)\n", cmd)
 		os.Exit(1)
 	}
 }
@@ -158,7 +174,7 @@ func newGenFlags(name string) *genFlags {
 		n:          fs.Int("n", 10000, "number of invocations (synth: cap, 0 = until horizon)"),
 		cores:      fs.Int("cores", 16, "cores the load is calibrated for"),
 		load:       fs.Float64("load", 0.8, "offered CPU load fraction (poisson/trace)"),
-		arrivals:   fs.String("arrivals", "poisson", "scenario family: poisson, trace, or synth"),
+		arrivals:   fs.String("arrivals", "poisson", "scenario family: synth, or one of "+strings.Join(workload.FamilyNames(), ", ")+" (trace = azure)"),
 		seed:       fs.Uint64("seed", 42, "RNG seed"),
 		ioFraction: fs.Float64("io-fraction", 0, "fraction of requests with a leading I/O op"),
 		spikes:     fs.Int("spikes", 0, "overload spikes to inject (trace arrivals only)"),
@@ -211,8 +227,16 @@ func (g *genFlags) source() trace.Source {
 		}
 		return workload.SyntheticStream(spec)
 	default:
-		fatal(fmt.Errorf("unknown arrival family %q (want poisson, trace, or synth)", *g.arrivals))
-		return nil
+		// Any registered scenario family (diurnal, flashcrowd,
+		// multitenant, trigger, ...); poisson/trace/synth were handled
+		// above with their extra knobs.
+		src, err := workload.NewFamily(*g.arrivals, workload.FamilyConfig{
+			N: *g.n, Cores: *g.cores, Load: *g.load, Seed: *g.seed, Apps: g.apps(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return src
 	}
 }
 
@@ -502,18 +526,39 @@ func cmdChain(args []string) {
 	g.fs.Parse(args)
 	ka.validate()
 
-	spec, err := chain.NewFamily(*family, chain.FamilyConfig{Depth: *depth})
-	if err != nil {
-		fatal(err)
+	var src trace.Source
+	var injCfg chain.Config
+	var familyDesc string
+	if *g.arrivals == "trigger" {
+		// The trigger family carries its own per-class workflow map
+		// (http/queue/timer chains); -family and -depth are ignored and
+		// the load is already calibrated to the whole chains.
+		var cfg chain.Config
+		var err error
+		src, cfg, err = workload.TriggerStream(workload.TriggerSpec{
+			N: *g.n, Cores: *g.cores, Load: *g.load, Seed: *g.seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		injCfg = cfg
+		familyDesc = "TRIGGER mix"
+	} else {
+		spec, err := chain.NewFamily(*family, chain.FamilyConfig{Depth: *depth})
+		if err != nil {
+			fatal(err)
+		}
+		// Stages inherit each request's sampled service, so the chain
+		// multiplies per-request CPU demand by the stage count;
+		// recalibrate the calibrated families to the whole chain.
+		if *g.arrivals != "synth" {
+			*g.load /= spec.ServiceFactor(0)
+		}
+		src = g.source()
+		injCfg = chain.Config{Default: &spec, Seed: *g.seed}
+		familyDesc = fmt.Sprintf("%s depth %d", strings.ToUpper(*family), *depth)
 	}
-	// Stages inherit each request's sampled service, so the chain
-	// multiplies per-request CPU demand by the stage count; recalibrate
-	// the calibrated families to the whole chain.
-	if *g.arrivals != "synth" {
-		*g.load /= spec.ServiceFactor(0)
-	}
-	src := g.source()
-	inj, err := chain.NewInjector(chain.Config{Default: &spec, Seed: *g.seed})
+	inj, err := chain.NewInjector(injCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -533,8 +578,8 @@ func cmdChain(args []string) {
 		fatal(fmt.Errorf("empty trace"))
 	}
 
-	fmt.Printf("chained %d invocations (%s depth %d) under %s on %d cores\n",
-		len(tasks), strings.ToUpper(*family), *depth, s.Name(), *g.cores)
+	fmt.Printf("chained %d invocations (%s) under %s on %d cores\n",
+		len(tasks), familyDesc, s.Name(), *g.cores)
 	fmt.Printf("simulated %v of virtual time in %v wall time (%d ctx switches, %.0f%% utilization)\n",
 		makespan.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
 		eng.TotalCtxSwitches, eng.Utilization()*100)
@@ -613,6 +658,96 @@ func summarize(src trace.Source, cores int) {
 		fmt.Printf("  %s  paper %5.1f%%  generated %5.1f%%\n",
 			rangeStr, row.Probability*100, 100*float64(count)/float64(len(durs)))
 	}
+}
+
+// cmdIngest streams a real Azure Functions 2019 invocation CSV (row
+// per function x 1440 minute columns, multi-GB at full size) onto a
+// compact arrival-ordered tape and writes it out as a replayable
+// trace. Memory is bounded by the emitted invocations plus the
+// per-function duration index — never the CSV size — so a laptop can
+// carve an experiment-sized window out of the full dataset.
+func cmdIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	invPath := fs.String("invocations", "", "invocations_per_function CSV (required)")
+	durPath := fs.String("durations", "", "function_durations_percentiles CSV servicing the invocations (optional; missing functions get -default-ms)")
+	minutes := fs.String("minutes", "", "dataset minute window lo:hi (1-based, inclusive; empty = whole day)")
+	scale := fs.Float64("scale", 1, "keep each invocation with this probability (0 < scale <= 1)")
+	max := fs.Int("max", 0, "stop after this many invocations (0 = unlimited)")
+	defaultMS := fs.Int("default-ms", 100, "service time in ms for functions without a durations row")
+	seed := fs.Uint64("seed", 42, "RNG seed for thinning and within-minute placement")
+	out := fs.String("o", "", "output path (default stdout); replayable by faasbench replay and sfs-sim -workload")
+	format := fs.String("format", "binary", "output format: csv or binary (the length-prefixed SFTB codec)")
+	fs.Parse(args)
+	if *invPath == "" {
+		fatal(fmt.Errorf("ingest needs -invocations file.csv"))
+	}
+	if *format != "csv" && *format != "binary" {
+		fatal(fmt.Errorf("unknown -format %q (want csv or binary)", *format))
+	}
+	cfg := azure.IngestConfig{
+		Scale:           *scale,
+		MaxInvocations:  *max,
+		DefaultDuration: time.Duration(*defaultMS) * time.Millisecond,
+		Seed:            *seed,
+	}
+	if *minutes != "" {
+		if _, err := fmt.Sscanf(*minutes, "%d:%d", &cfg.MinuteLo, &cfg.MinuteHi); err != nil {
+			fatal(fmt.Errorf("bad -minutes %q (want lo:hi, e.g. 60:120): %v", *minutes, err))
+		}
+	}
+
+	idx := map[azure.FuncKey]time.Duration{}
+	if *durPath != "" {
+		df, err := os.Open(*durPath)
+		if err != nil {
+			fatal(err)
+		}
+		if idx, err = azure.DurationsIndex(df); err != nil {
+			df.Close()
+			fatal(err)
+		}
+		df.Close()
+	}
+
+	inf, err := os.Open(*invPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer inf.Close()
+	start := time.Now()
+	tp, st, err := azure.IngestTape(inf, idx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	var f *os.File
+	if *out != "" {
+		if f, err = os.Create(*out); err != nil {
+			fatal(err)
+		}
+		w = f
+	}
+	write := trace.WriteCSV
+	if *format == "binary" {
+		write = trace.WriteBinary
+	}
+	n, err := write(w, tp.Source())
+	if err != nil {
+		fatal(err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	truncated := ""
+	if st.Truncated {
+		truncated = " (truncated by -max)"
+	}
+	fmt.Fprintf(os.Stderr, "ingested %d invocations from %d rows (%d functions, %d defaulted durations)%s in %v; wrote %d records (%s)\n",
+		st.Invocations, st.Rows, st.Functions, st.NoDuration, truncated,
+		time.Since(start).Round(time.Millisecond), n, *format)
 }
 
 func checkErr(src trace.Source) {

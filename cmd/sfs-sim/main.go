@@ -111,7 +111,7 @@ func main() {
 		load       = flag.Float64("load", 1.0, "offered CPU load fraction (calibrated to hosts x cores)")
 		hosts      = flag.Int("hosts", 1, "simulated hosts; > 1 enables cluster mode")
 		dispatch   = flag.String("dispatch", "RR", "cluster dispatch policy: "+strings.Join(cluster.Names(), ", "))
-		arrivals   = flag.String("arrivals", "poisson", "arrival process: poisson, trace, or synth (RPS ramp)")
+		arrivals   = flag.String("arrivals", "poisson", "arrival process: synth (RPS ramp) or a scenario family: "+strings.Join(workload.FamilyNames(), ", ")+" (trace = azure)")
 		seed       = flag.Uint64("seed", 42, "RNG seed")
 		fixedSlice = flag.Duration("fixed-slice", 0, "pin the SFS time slice (0 = adaptive)")
 		poll       = flag.Duration("poll", 4*time.Millisecond, "SFS kernel-status polling interval")
@@ -203,8 +203,17 @@ func main() {
 			Horizon: *horizon, N: *n, Seed: *seed, IOFraction: *ioFraction,
 		})
 	default:
-		fmt.Fprintf(os.Stderr, "unknown arrival process %q\n", *arrivals)
-		os.Exit(1)
+		// Any registered scenario family (diurnal, flashcrowd,
+		// multitenant, trigger, ... — poisson and trace were handled
+		// above with their extra knobs).
+		var err error
+		w, err = workload.NewFamilyWorkload(*arrivals, workload.FamilyConfig{
+			N: *n, Cores: totalCores, Load: genLoad, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("workload: %s (mean service %v, mean IAT %v, offered load %.2f)\n",
 		w.Description, w.MeanService, w.MeanIAT, w.OfferedLoad(totalCores))

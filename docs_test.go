@@ -9,6 +9,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/schedulers"
+	"github.com/serverless-sched/sfs/internal/workload"
 )
 
 // readDoc loads a documentation file relative to the repo root.
@@ -36,6 +37,7 @@ func TestREADMEListsRegistries(t *testing.T) {
 		{"dispatch policy", cluster.Names()},
 		{"keep-alive policy", lifecycle.PolicyNames()},
 		{"workflow family", chain.FamilyNames()},
+		{"scenario family", workload.FamilyNames()},
 	} {
 		for _, n := range group.names {
 			if !strings.Contains(readme, n) {
@@ -74,6 +76,11 @@ func TestGuideCoversCoreTasks(t *testing.T) {
 			t.Errorf("docs/GUIDE.md does not mention workflow family %q", n)
 		}
 	}
+	for _, n := range workload.FamilyNames() {
+		if !strings.Contains(guide, n) {
+			t.Errorf("docs/GUIDE.md does not mention scenario family %q", n)
+		}
+	}
 	// And the README must point readers at the guide.
 	if !strings.Contains(readDoc(t, "README.md"), "docs/GUIDE.md") {
 		t.Error("README.md does not link docs/GUIDE.md")
@@ -89,9 +96,11 @@ func TestArchitectureCoversThirdRegistry(t *testing.T) {
 		"internal/cluster/dispatch.go",
 		"internal/lifecycle/policy.go",
 		"internal/chain/family.go",
+		"internal/workload/family.go",
 		"keep-alive",
 		"lifecycle",
 		"workflow",
+		"golden",
 	} {
 		if !strings.Contains(arch, want) {
 			t.Errorf("docs/ARCHITECTURE.md does not cover %q", want)

@@ -1,8 +1,6 @@
 package azure
 
 import (
-	"encoding/csv"
-	"fmt"
 	"io"
 	"strconv"
 	"time"
@@ -46,114 +44,36 @@ func msField(s string) (time.Duration, error) {
 	return time.Duration(v * float64(time.Millisecond)), nil
 }
 
-// LoadDurations parses a function_durations_percentiles CSV stream.
-// Unknown extra columns are ignored; rows with unparsable core fields
-// are rejected with a row-numbered error.
+// LoadDurations parses a function_durations_percentiles CSV stream
+// into a materialized slice. Unknown extra columns are ignored; rows
+// with unparsable core fields are rejected with a row-numbered error.
+// For multi-GB files prefer ScanDurations/DurationsIndex, which never
+// hold more than one row.
 func LoadDurations(r io.Reader) ([]DurationRow, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("azure: reading duration header: %w", err)
-	}
-	col := indexColumns(header)
-	for _, need := range []string{"HashOwner", "HashApp", "HashFunction", "Average", "Count", "Minimum", "Maximum"} {
-		if _, ok := col[need]; !ok {
-			return nil, fmt.Errorf("azure: duration file missing column %q", need)
-		}
-	}
-	p50Col, hasP50 := col["percentile_Average_50"]
-
 	var rows []DurationRow
-	for i := 1; ; i++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("azure: duration row %d: %w", i, err)
-		}
-		row := DurationRow{
-			Owner:    rec[col["HashOwner"]],
-			App:      rec[col["HashApp"]],
-			Function: rec[col["HashFunction"]],
-		}
-		if row.Average, err = msField(rec[col["Average"]]); err != nil {
-			return nil, fmt.Errorf("azure: duration row %d: bad Average: %w", i, err)
-		}
-		if row.Count, err = strconv.Atoi(rec[col["Count"]]); err != nil {
-			return nil, fmt.Errorf("azure: duration row %d: bad Count: %w", i, err)
-		}
-		if row.Minimum, err = msField(rec[col["Minimum"]]); err != nil {
-			return nil, fmt.Errorf("azure: duration row %d: bad Minimum: %w", i, err)
-		}
-		if row.Maximum, err = msField(rec[col["Maximum"]]); err != nil {
-			return nil, fmt.Errorf("azure: duration row %d: bad Maximum: %w", i, err)
-		}
-		if hasP50 && p50Col < len(rec) {
-			if p50, err := msField(rec[p50Col]); err == nil {
-				row.P50 = p50
-			}
-		}
+	err := ScanDurations(r, func(row DurationRow) error {
 		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-// LoadInvocations parses an invocations_per_function CSV stream.
+// LoadInvocations parses an invocations_per_function CSV stream into a
+// materialized slice. For multi-GB files prefer ScanInvocations or
+// IngestTape, which never hold more than one row.
 func LoadInvocations(r io.Reader) ([]InvocationRow, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("azure: reading invocation header: %w", err)
-	}
-	col := indexColumns(header)
-	for _, need := range []string{"HashOwner", "HashApp", "HashFunction"} {
-		if _, ok := col[need]; !ok {
-			return nil, fmt.Errorf("azure: invocation file missing column %q", need)
-		}
-	}
-	// Minute columns are the ones whose header is a plain integer.
-	type minuteCol struct{ header, idx int }
-	var minutes []minuteCol
-	for i, h := range header {
-		if m, err := strconv.Atoi(h); err == nil && m >= 1 {
-			minutes = append(minutes, minuteCol{header: m, idx: i})
-		}
-	}
-	triggerCol, hasTrigger := col["Trigger"]
-
 	var rows []InvocationRow
-	for i := 1; ; i++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("azure: invocation row %d: %w", i, err)
-		}
-		row := InvocationRow{
-			Owner:    rec[col["HashOwner"]],
-			App:      rec[col["HashApp"]],
-			Function: rec[col["HashFunction"]],
-		}
-		if hasTrigger && triggerCol < len(rec) {
-			row.Trigger = rec[triggerCol]
-		}
-		row.PerMinute = make([]int, 0, len(minutes))
-		for _, mc := range minutes {
-			if mc.idx >= len(rec) {
-				break
-			}
-			v, err := strconv.Atoi(rec[mc.idx])
-			if err != nil {
-				return nil, fmt.Errorf("azure: invocation row %d: bad minute %d: %w", i, mc.header, err)
-			}
-			row.PerMinute = append(row.PerMinute, v)
-			row.Total += v
-		}
+	err := ScanInvocations(r, func(row InvocationRow) error {
+		// The scanner reuses its PerMinute buffer; keep a copy.
+		row.PerMinute = append([]int(nil), row.PerMinute...)
 		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -141,6 +141,48 @@ func TestShardedDeterminismMatrix(t *testing.T) {
 	}
 }
 
+// TestShardedFamilyParity: for every registered scenario family —
+// including the shaped ones (diurnal, flashcrowd, multitenant,
+// trigger) whose bursts concentrate arrivals in ways the uniform
+// matrix above never does — the sharded engine at 8 shards must
+// reproduce the serial engine byte-identically. Runs under -race via
+// the usual test invocation; workers stays at GOMAXPROCS so the
+// parallel window path is exercised.
+func TestShardedFamilyParity(t *testing.T) {
+	const hosts, cores, seed = 16, 2, 11
+	mk := func(family string) trace.Source {
+		src, err := workload.NewFamily(family, workload.FamilyConfig{
+			N: 400, Cores: hosts * cores, Load: 0.9, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	for _, family := range workload.FamilyNames() {
+		t.Run(family, func(t *testing.T) {
+			run := func(shards int) string {
+				d, err := NewDispatcher("JSQ", FactoryConfig{Hosts: hosts, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := Config{
+					Hosts:        hosts,
+					CoresPerHost: cores,
+					NewScheduler: func() cpusim.Scheduler { return sched.NewCFS(sched.CFSConfig{}) },
+					Dispatcher:   d,
+					Shards:       shards,
+				}
+				return shardedFP(runSharded(t, cfg, mk(family)))
+			}
+			ref := run(1)
+			if got := run(8); got != ref {
+				t.Errorf("%s: shards=8 diverges from shards=1:\n%s", family, firstDiff(ref, got))
+			}
+		})
+	}
+}
+
 // TestShardedWorkerCountInvariance: the worker pool size must not
 // influence results, only wall-clock.
 func TestShardedWorkerCountInvariance(t *testing.T) {

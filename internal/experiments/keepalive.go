@@ -27,6 +27,14 @@ func init() {
 // histogram policy's per-app predictions bridge.
 const keepaliveTTL = 10 * time.Second
 
+// keepaliveFamilies are the scenario families the experiment sweeps:
+// azure's bursty sampling, the Shahrad-style periodic population, and
+// two registry families whose keep-alive behaviour differs by
+// construction — diurnal (night troughs outlast fixed TTL windows)
+// and multitenant (a heavy bursty tenant competes with nine light
+// ones for the shared warm pool).
+var keepaliveFamilies = []string{"azure", "periodic", "diurnal", "multitenant"}
+
 // periodicApps builds the periodic scenario family: apps invocations
 // streams merged into one trace, app i firing every 5 s + i·(55/apps) s
 // with constant 80 ms of CPU, phases staggered so arrivals interleave.
@@ -56,7 +64,7 @@ func periodicApps(n, apps int, seed uint64) trace.Source {
 }
 
 // runKeepalive sweeps every registered keep-alive policy across memory
-// budgets and two scenario families on a single SFS host, then probes
+// budgets and four scenario families on a single SFS host, then probes
 // the dispatch-side interaction on a small cluster. The expected
 // ordering at equal memory — HIST >= TTL >= NONE on warm-hit ratio —
 // falls out of construction: NONE never reuses, a fixed window misses
@@ -86,18 +94,27 @@ func runKeepalive(cfg Config) *Report {
 	}
 	ratios := map[key]map[string]float64{}
 
+	mix := []workload.AppChoice{
+		{Profile: workload.AppFib, Weight: 0.5},
+		{Profile: workload.AppMd, Weight: 0.25},
+		{Profile: workload.AppSa, Weight: 0.25},
+	}
 	mkSource := func(family string) trace.Source {
 		if family == "periodic" {
 			return periodicApps(nPeriodic, apps, cfg.Seed)
 		}
-		return workload.AzureSampledStream(workload.AzureSampledSpec{
-			N: nAzure, Cores: cores, Load: derate(0.8), Seed: cfg.Seed,
-			Apps: []workload.AppChoice{
-				{Profile: workload.AppFib, Weight: 0.5},
-				{Profile: workload.AppMd, Weight: 0.25},
-				{Profile: workload.AppSa, Weight: 0.25},
-			},
+		// Everything else comes from the scenario-family registry:
+		// azure's bursty sampling, diurnal's day/night cycle (long
+		// night gaps stress fixed TTL windows), and multitenant's
+		// per-tenant pools (one heavy tenant crowding out nine light
+		// ones under a shared memory budget).
+		src, err := workload.NewFamily(family, workload.FamilyConfig{
+			N: nAzure, Cores: cores, Load: derate(0.8), Seed: cfg.Seed, Apps: mix,
 		})
+		if err != nil {
+			panic(err)
+		}
+		return src
 	}
 
 	memLabel := func(mb int) string {
@@ -117,7 +134,7 @@ func runKeepalive(cfg Config) *Report {
 		policy string
 	}
 	var cells []cell
-	for _, family := range []string{"azure", "periodic"} {
+	for _, family := range keepaliveFamilies {
 		for _, mem := range memories {
 			for _, policy := range lifecycle.PolicyNames() {
 				cells = append(cells, cell{family, mem, policy})
@@ -170,7 +187,7 @@ func runKeepalive(cfg Config) *Report {
 	}
 
 	// The headline ordering, checked at every equal-memory point.
-	for _, family := range []string{"azure", "periodic"} {
+	for _, family := range keepaliveFamilies {
 		for _, mem := range memories {
 			r := ratios[key{family, mem}]
 			ok := r["HIST"] >= r["TTL"] && r["TTL"] >= r["NONE"]

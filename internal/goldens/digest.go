@@ -1,0 +1,186 @@
+package goldens
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/chain"
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/lifecycle"
+	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/schedulers"
+	"github.com/serverless-sched/sfs/internal/task"
+	"github.com/serverless-sched/sfs/internal/trace"
+	"github.com/serverless-sched/sfs/internal/workload"
+)
+
+// Digest dimensions: small enough that the whole matrix runs in
+// seconds, large enough that a shifted constant moves a percentile.
+const (
+	digestN     = 600
+	digestCores = 8
+	digestSeed  = 1
+)
+
+// digestScheds is the scheduler half of the policy matrix.
+var digestScheds = []string{"SFS", "CFS"}
+
+// digestPolicies is the keep-alive half of the policy matrix.
+var digestPolicies = []string{"TTL", "HIST"}
+
+// fd keeps digest rendering in one place (metrics.FormatDuration is
+// already byte-stable).
+func fd(d time.Duration) string { return metrics.FormatDuration(d) }
+
+// FamilyDigest renders one scenario family's golden digest: the trace's
+// shape statistics, each scheduler's turnaround percentiles, and each
+// keep-alive policy's cold-start profile. Everything below is
+// deterministic in (family, digestSeed); any engine, policy, or
+// generator change shows up as a byte diff.
+func FamilyDigest(family string) (string, error) {
+	src, err := workload.NewFamily(family, workload.FamilyConfig{
+		N: digestN, Cores: digestCores, Seed: digestSeed,
+	})
+	if err != nil {
+		return "", err
+	}
+	tasks := trace.Collect(src)
+	if err := trace.Err(src); err != nil {
+		return "", err
+	}
+	if len(tasks) == 0 {
+		return "", fmt.Errorf("family %s emitted no invocations", family)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digest v1: family=%s n=%d cores=%d seed=%d\n",
+		strings.ToUpper(family), digestN, digestCores, digestSeed)
+	b.WriteString(traceDigest(tasks))
+
+	for _, name := range digestScheds {
+		s, err := schedulers.New(name)
+		if err != nil {
+			return "", err
+		}
+		eng := cpusim.NewEngine(cpusim.Config{Cores: digestCores, Deadline: 10000 * time.Hour}, s)
+		eng.Submit(trace.CloneTasks(tasks)...)
+		eng.Run()
+		r := metrics.Run{Scheduler: name, Tasks: eng.Tasks()}
+		ps := r.Percentiles([]float64{50, 99})
+		fmt.Fprintf(&b, "sched=%s: p50=%s p99=%s mean=%s rte50=%.3f rte95=%.3f\n",
+			name, fd(ps[0]), fd(ps[1]), fd(r.MeanTurnaround()),
+			r.FractionRTEAtLeast(0.5), r.FractionRTEAtLeast(0.95))
+	}
+
+	for _, policy := range digestPolicies {
+		mgr, err := lifecycle.NewByName(policy, 0, lifecycle.DefaultTTL, digestSeed)
+		if err != nil {
+			return "", err
+		}
+		s, err := schedulers.New("SFS")
+		if err != nil {
+			return "", err
+		}
+		eng := cpusim.NewEngine(cpusim.Config{Cores: digestCores, Deadline: 10000 * time.Hour}, s)
+		if _, err := lifecycle.Run(trace.FromTasks(family, tasks), mgr, eng); err != nil {
+			return "", err
+		}
+		st := mgr.Stats()
+		fmt.Fprintf(&b, "keepalive=%s: cold=%d warm-hit=%.1f%% cold-mean=%s\n",
+			policy, st.ColdStarts, 100*st.WarmHitRatio(), fd(st.MeanColdLatency()))
+	}
+	return b.String(), nil
+}
+
+// traceDigest renders the workload-shape lines shared by every family
+// digest: span, per-app spread, and service-time percentiles of the
+// generated trace itself (independent of any scheduler).
+func traceDigest(tasks []*task.Task) string {
+	apps := map[string]int{}
+	var svc []time.Duration
+	io := 0
+	for _, t := range tasks {
+		apps[t.App]++
+		svc = append(svc, t.Service)
+		if len(t.IOOps) > 0 {
+			io++
+		}
+	}
+	sort.Slice(svc, func(i, j int) bool { return svc[i] < svc[j] })
+	span := time.Duration(tasks[len(tasks)-1].Arrival - tasks[0].Arrival)
+	top := topApps(apps, 3)
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: n=%d span=%s apps=%d io=%d\n", len(tasks), fd(span), len(apps), io)
+	fmt.Fprintf(&b, "service: p50=%s p99=%s max=%s\n",
+		fd(svc[len(svc)/2]), fd(svc[len(svc)*99/100]), fd(svc[len(svc)-1]))
+	fmt.Fprintf(&b, "top-apps: %s\n", top)
+	return b.String()
+}
+
+// topApps renders the k highest-volume apps as "name:count" in
+// deterministic order (count desc, name asc).
+func topApps(apps map[string]int, k int) string {
+	type ac struct {
+		app string
+		n   int
+	}
+	all := make([]ac, 0, len(apps))
+	for a, n := range apps {
+		all = append(all, ac{a, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].app < all[j].app
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	parts := make([]string, len(all))
+	for i, a := range all {
+		parts[i] = fmt.Sprintf("%s:%d", a.app, a.n)
+	}
+	return strings.Join(parts, " ")
+}
+
+// TriggerChainDigest renders the trigger family's workflow-expanded
+// digest: the trigger mix feeds its per-class chains through the
+// injector, measuring end-to-end workflow turnaround and slowdown —
+// the chain layer's regression surface.
+func TriggerChainDigest() (string, error) {
+	src, cfg, err := workload.TriggerStream(workload.TriggerSpec{
+		N: digestN, Cores: digestCores, Seed: digestSeed,
+	})
+	if err != nil {
+		return "", err
+	}
+	inj, err := chain.NewInjector(cfg)
+	if err != nil {
+		return "", err
+	}
+	s, err := schedulers.New("SFS")
+	if err != nil {
+		return "", err
+	}
+	eng := cpusim.NewEngine(cpusim.Config{Cores: digestCores, Deadline: 10000 * time.Hour}, s)
+	makespan, err := chain.Run(src, inj, nil, eng)
+	if err != nil {
+		return "", err
+	}
+	r := metrics.Run{Scheduler: "SFS", Tasks: eng.Tasks()}
+	ps := r.Percentiles([]float64{50, 99})
+	wfr := metrics.WorkflowRun{Scheduler: "SFS", Workflows: inj.Workflows()}
+	slow := wfr.SlowdownPercentiles(50, 99)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digest v1: trigger-chain n=%d cores=%d seed=%d sched=SFS\n",
+		digestN, digestCores, digestSeed)
+	fmt.Fprintf(&b, "stages: n=%d makespan=%s p50=%s p99=%s\n",
+		len(eng.Tasks()), fd(makespan), fd(ps[0]), fd(ps[1]))
+	fmt.Fprintf(&b, "workflows: completed=%d mean-slowdown=%.2fx p50=%.2fx p99=%.2fx\n",
+		wfr.Completed(), wfr.MeanSlowdown(), slow[0], slow[1])
+	return b.String(), nil
+}

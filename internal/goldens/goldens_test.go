@@ -1,0 +1,90 @@
+package goldens
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/serverless-sched/sfs/internal/azure"
+	"github.com/serverless-sched/sfs/internal/workload"
+)
+
+// TestGoldenFamilies pins every scenario family's simulated metrics to
+// its checked-in fixture. Sweeping FamilyNames() keeps the fixture set
+// and the registry in lockstep: adding a family without blessing a
+// fixture fails here with the -update hint.
+func TestGoldenFamilies(t *testing.T) {
+	for _, family := range workload.FamilyNames() {
+		t.Run(family, func(t *testing.T) {
+			got, err := FamilyDigest(family)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Check(t, "family-"+strings.ToLower(family), got)
+		})
+	}
+}
+
+// TestGoldenFixtureSync: every family fixture on disk corresponds to a
+// registered family — deleted families must take their goldens along.
+func TestGoldenFixtureSync(t *testing.T) {
+	known := map[string]bool{}
+	for _, f := range workload.FamilyNames() {
+		known["family-"+strings.ToLower(f)+".golden"] = true
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "family-") || !strings.HasSuffix(name, ".golden") {
+			continue
+		}
+		if !known[name] {
+			t.Errorf("fixture %s has no registered scenario family; delete it or restore the family", name)
+		}
+	}
+}
+
+// TestGoldenTriggerChain pins the workflow-expanded trigger mix.
+func TestGoldenTriggerChain(t *testing.T) {
+	got, err := TriggerChainDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Check(t, "trigger-chain", got)
+}
+
+// TestGoldenAzureIngest pins the streaming CSV ingestion path: the
+// dataset fixtures in internal/azure/testdata flow through
+// DurationsIndex + IngestTape and the resulting tape is digested.
+func TestGoldenAzureIngest(t *testing.T) {
+	durf, err := os.Open(filepath.Join("..", "azure", "testdata", "durations_sample.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer durf.Close()
+	idx, err := azure.DurationsIndex(durf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invf, err := os.Open(filepath.Join("..", "azure", "testdata", "invocations_sample.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer invf.Close()
+	tp, stats, err := azure.IngestTape(invf, idx, azure.IngestConfig{Seed: digestSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := tp.Materialize(nil)
+	var b strings.Builder
+	fmt.Fprintf(&b, "digest v1: azure-ingest seed=%d\n", digestSeed)
+	fmt.Fprintf(&b, "ingest: rows=%d functions=%d invocations=%d no-duration=%d truncated=%v\n",
+		stats.Rows, stats.Functions, stats.Invocations, stats.NoDuration, stats.Truncated)
+	b.WriteString(traceDigest(tasks))
+	Check(t, "azure-ingest", b.String())
+}

@@ -249,29 +249,3 @@ func TestDetectSource(t *testing.T) {
 		t.Fatal("DetectSource(empty) succeeded")
 	}
 }
-
-func FuzzBinaryDecode(f *testing.F) {
-	f.Add(mustEncode(binFixture()))
-	f.Add([]byte("SFTB\x01"))
-	f.Add([]byte("SFTB\x01\x02\x00\x01"))
-	f.Add([]byte(nil))
-	f.Fuzz(func(t *testing.T, data []byte) {
-		tasks, err := ReadBinary(bytes.NewReader(data))
-		if err != nil {
-			return
-		}
-		// Whatever decodes cleanly must re-encode to a decodable trace
-		// describing the same invocations.
-		var buf bytes.Buffer
-		if _, err := WriteBinary(&buf, FromTasks("fuzz", tasks)); err != nil {
-			t.Fatalf("re-encoding decoded tasks: %v", err)
-		}
-		again, err := ReadBinary(bytes.NewReader(buf.Bytes()))
-		if err != nil {
-			t.Fatalf("decoding re-encoded tasks: %v", err)
-		}
-		if len(again) != len(tasks) {
-			t.Fatalf("round trip changed task count %d → %d", len(tasks), len(again))
-		}
-	})
-}

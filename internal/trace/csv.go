@@ -215,6 +215,7 @@ func parseRecord(rec []string) (*task.Task, error) {
 	// one left by a trailing ';') is rejected exactly as Split-based
 	// parsing did.
 	if ops := rec[4]; ops != "" {
+		lastUS := int64(-1 << 62)
 		for {
 			pair, rest, found := strings.Cut(ops, ";")
 			at, dur, ok := strings.Cut(pair, ":")
@@ -226,6 +227,12 @@ func parseRecord(rec []string) (*task.Task, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("bad io op %q", pair)
 			}
+			// WithIO panics on out-of-order ops; a malformed row must
+			// be a parse error, not a crash.
+			if atUS < lastUS {
+				return nil, fmt.Errorf("io op %q out of order", pair)
+			}
+			lastUS = atUS
 			t.WithIO(time.Duration(atUS)*time.Microsecond, time.Duration(durUS)*time.Microsecond)
 			if !found {
 				break

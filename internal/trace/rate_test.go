@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/dist"
+)
+
+// TestRateSourceDeterminism: same spec → byte-identical stream.
+func TestRateSourceDeterminism(t *testing.T) {
+	mk := func() Source {
+		return NewRate(RateSpec{
+			Desc:     "test",
+			Rate:     func(at time.Duration) float64 { return 50 + 50*math.Sin(float64(at)/float64(time.Second)) },
+			Peak:     100,
+			Horizon:  20 * time.Second,
+			Duration: dist.Constant{Value: 10 * time.Millisecond},
+			Seed:     7,
+		})
+	}
+	a := Collect(mk())
+	b := Collect(mk())
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Service != b[i].Service || a[i].App != b[i].App {
+			t.Fatalf("invocation %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRateSourceTracksProfile: a two-level square-wave profile must
+// realize roughly twice as many arrivals in its high half.
+func TestRateSourceTracksProfile(t *testing.T) {
+	horizon := 100 * time.Second
+	src := NewRate(RateSpec{
+		Rate: func(at time.Duration) float64 {
+			if at < horizon/2 {
+				return 40
+			}
+			return 80
+		},
+		Peak:     80,
+		Horizon:  horizon,
+		Duration: dist.Constant{Value: time.Millisecond},
+		Seed:     3,
+	})
+	lo, hi, n := 0, 0, 0
+	for {
+		tk, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+		if time.Duration(tk.Arrival) < horizon/2 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if n < 1000 {
+		t.Fatalf("only %d arrivals generated", n)
+	}
+	ratio := float64(hi) / float64(lo)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("high/low arrival ratio = %.2f (lo=%d hi=%d), want ~2", ratio, lo, hi)
+	}
+}
+
+// TestRateSourceCapsAndOrder: the N cap holds, arrivals are
+// non-decreasing and inside the horizon, and negative rates are
+// treated as zero.
+func TestRateSourceCapsAndOrder(t *testing.T) {
+	src := NewRate(RateSpec{
+		Rate:     func(at time.Duration) float64 { return 100 },
+		Peak:     100,
+		Horizon:  time.Hour,
+		N:        250,
+		Duration: dist.Constant{Value: time.Millisecond},
+		Seed:     5,
+	})
+	tasks := Collect(src)
+	if len(tasks) != 250 {
+		t.Fatalf("N cap: got %d tasks, want 250", len(tasks))
+	}
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].Arrival < tasks[i-1].Arrival {
+			t.Fatalf("arrival order violated at %d", i)
+		}
+	}
+
+	dead := NewRate(RateSpec{
+		Rate:     func(at time.Duration) float64 { return -1 },
+		Peak:     10,
+		Horizon:  time.Second,
+		Duration: dist.Constant{Value: time.Millisecond},
+		Seed:     5,
+	})
+	if got := Collect(dead); len(got) != 0 {
+		t.Errorf("negative-rate profile emitted %d arrivals, want 0", len(got))
+	}
+}

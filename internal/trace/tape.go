@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sort"
 	"time"
 
 	"github.com/serverless-sched/sfs/internal/simtime"
@@ -107,6 +108,40 @@ func (tp *Tape) task(a *task.Arena, i int) *task.Task {
 		t.IOOps = ops
 	}
 	return t
+}
+
+// SortByArrival reorders the tape into non-decreasing arrival order
+// (ties by original position, so the sort is stable) and reassigns
+// sequential IDs, turning an append-in-any-order tape into a valid
+// replayable trace. Ingestion paths that append invocations
+// producer-by-producer — the Azure per-function CSV schema emits one
+// function's whole timeline per row — sort once at the end instead of
+// buffering task objects for a merge.
+func (tp *Tape) SortByArrival() {
+	n := tp.Len()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return tp.arrivalNS[perm[a]] < tp.arrivalNS[perm[b]]
+	})
+	next := NewTape()
+	// Keep the interned string table (and its indices) as-is; only the
+	// per-invocation columns are permuted.
+	next.apps, next.appOf = tp.apps, tp.appOf
+	for _, i := range perm {
+		next.ids = append(next.ids, int64(len(next.ids)))
+		next.appIdx = append(next.appIdx, tp.appIdx[i])
+		next.arrivalNS = append(next.arrivalNS, tp.arrivalNS[i])
+		next.serviceNS = append(next.serviceNS, tp.serviceNS[i])
+		next.weights = append(next.weights, tp.weights[i])
+		lo, hi := tp.ioOff[i], tp.ioOff[i+1]
+		next.ioAtNS = append(next.ioAtNS, tp.ioAtNS[lo:hi]...)
+		next.ioDurNS = append(next.ioDurNS, tp.ioDurNS[lo:hi]...)
+		next.ioOff = append(next.ioOff, int32(len(next.ioAtNS)))
+	}
+	*tp = *next
 }
 
 // Source replays the tape as a fresh Source, materializing one task per

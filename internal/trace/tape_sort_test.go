@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/simtime"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// TestTapeSortByArrival: appending out of order then sorting yields a
+// valid trace with sequential IDs, arrival-ordered invocations, stable
+// ties, and every task's I/O ops still attached to it.
+func TestTapeSortByArrival(t *testing.T) {
+	mk := func(id int, at time.Duration, app string, nIO int) *task.Task {
+		tk := task.New(id, simtime.Time(at), 10*time.Millisecond)
+		tk.App = app
+		for i := 0; i < nIO; i++ {
+			tk.WithIO(time.Duration(i)*time.Millisecond, time.Duration(id)*time.Millisecond)
+		}
+		return tk
+	}
+	tp := NewTape()
+	tp.Append(mk(0, 30*time.Millisecond, "c", 2))
+	tp.Append(mk(1, 10*time.Millisecond, "a", 0))
+	tp.Append(mk(2, 20*time.Millisecond, "b", 1))
+	tp.Append(mk(3, 20*time.Millisecond, "b2", 3)) // tie with id 2: must stay after it
+
+	tp.SortByArrival()
+	tasks := tp.Materialize(nil)
+	if len(tasks) != 4 {
+		t.Fatalf("len = %d", len(tasks))
+	}
+	wantApps := []string{"a", "b", "b2", "c"}
+	wantIO := []int{0, 1, 3, 2}
+	for i, tk := range tasks {
+		if tk.ID != i {
+			t.Errorf("task %d: ID = %d, want sequential", i, tk.ID)
+		}
+		if tk.App != wantApps[i] {
+			t.Errorf("task %d: app = %q, want %q", i, tk.App, wantApps[i])
+		}
+		if len(tk.IOOps) != wantIO[i] {
+			t.Errorf("task %d (%s): %d I/O ops, want %d", i, tk.App, len(tk.IOOps), wantIO[i])
+		}
+		if i > 0 && tk.Arrival < tasks[i-1].Arrival {
+			t.Errorf("task %d arrives before predecessor", i)
+		}
+	}
+	// The sorted tape must pass full trace validation when replayed.
+	if _, err := Validate(tp.Source()); err != nil {
+		t.Fatalf("sorted tape invalid: %v", err)
+	}
+}

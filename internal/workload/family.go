@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/queueing"
+	"github.com/serverless-sched/sfs/internal/trace"
+)
+
+// FamilyConfig carries the construction parameters shared by every
+// scenario family, mirroring the scheduler/dispatcher/keep-alive/chain
+// registries' factory configs. Knobs a family doesn't use are ignored;
+// knobs beyond these (spike factors, tenant counts, trend slopes) take
+// that family's documented defaults — callers needing full control use
+// the family's own Spec type directly.
+type FamilyConfig struct {
+	// N is the invocation count (each family also sizes its horizon
+	// from it).
+	N int
+	// Cores the offered load is calibrated for.
+	Cores int
+	// Load is the target average CPU utilization fraction (families
+	// default it when non-positive).
+	Load float64
+	// Apps is the application mix (default pure fib).
+	Apps []AppChoice
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+// constructors maps canonical names to scenario-family constructors —
+// the fifth name → constructor registry alongside internal/schedulers,
+// internal/cluster, internal/lifecycle, and internal/chain, so the
+// CLIs and experiments select workloads by flag without the recognized
+// set drifting between tools.
+var constructors = map[string]func(cfg FamilyConfig) trace.Source{
+	"POISSON":     poissonFamily,
+	"AZURE":       azureFamily,
+	"SYNTH":       synthFamily,
+	"DIURNAL":     diurnalFamily,
+	"FLASHCROWD":  flashCrowdFamily,
+	"MULTITENANT": multiTenantFamily,
+	"TRIGGER":     triggerFamily,
+}
+
+// names in presentation order.
+var names = []string{"POISSON", "AZURE", "SYNTH", "DIURNAL", "FLASHCROWD", "MULTITENANT", "TRIGGER"}
+
+// FamilyNames returns the canonical scenario family names NewFamily
+// recognizes.
+func FamilyNames() []string { return append([]string(nil), names...) }
+
+// NewFamily constructs a scenario family's invocation stream by
+// case-insensitive name. Same config → byte-identical stream.
+func NewFamily(name string, cfg FamilyConfig) (trace.Source, error) {
+	mk, ok := constructors[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario family %q (want one of %s)", name, strings.Join(names, ", "))
+	}
+	return mk(cfg), nil
+}
+
+// NewFamilyWorkload materializes a scenario family into a Workload,
+// deriving the realized mean service and inter-arrival times from the
+// collected stream — the slice-shaped registry entry point for callers
+// (sfs-sim, experiments) that replay one trace under many schedulers.
+func NewFamilyWorkload(name string, cfg FamilyConfig) (*Workload, error) {
+	src, err := NewFamily(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tasks := trace.Collect(src)
+	if err := trace.Err(src); err != nil {
+		return nil, err
+	}
+	w := &Workload{Tasks: tasks, Description: src.String()}
+	if len(tasks) > 0 {
+		var ideal time.Duration
+		for _, t := range tasks {
+			ideal += t.IdealDuration()
+		}
+		w.MeanService = ideal / time.Duration(len(tasks))
+	}
+	if len(tasks) > 1 {
+		span := time.Duration(tasks[len(tasks)-1].Arrival - tasks[0].Arrival)
+		w.MeanIAT = span / time.Duration(len(tasks)-1)
+	}
+	return w, nil
+}
+
+// sortedFamilyNames is used by tests to compare registries without
+// caring about presentation order.
+func sortedFamilyNames() []string {
+	out := FamilyNames()
+	sort.Strings(out)
+	return out
+}
+
+// poissonFamily is the paper's baseline: Table I durations, Poisson
+// arrivals calibrated to the offered load.
+func poissonFamily(cfg FamilyConfig) trace.Source {
+	return Stream(Spec{N: cfg.N, Cores: cfg.Cores, Load: cfg.Load, Apps: cfg.Apps, Seed: cfg.Seed})
+}
+
+// azureFamily replays IATs sampled from the synthetic Azure trace's hot
+// applications (§VII).
+func azureFamily(cfg FamilyConfig) trace.Source {
+	return AzureSampledStream(AzureSampledSpec{N: cfg.N, Cores: cfg.Cores, Load: cfg.Load, Apps: cfg.Apps, Seed: cfg.Seed})
+}
+
+// synthFamily ramps the request rate through saturation — 0.3x to 1.2x
+// the mix's saturating RPS — the invitro-style load-transition profile.
+func synthFamily(cfg FamilyConfig) trace.Source {
+	spec := SyntheticSpec{N: cfg.N, Apps: cfg.Apps, Seed: cfg.Seed}
+	if spec.Duration == nil {
+		spec.Duration = TableIDistribution()
+	}
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	meanCPU := time.Duration(float64(spec.Duration.Mean()) * meanCPUFraction(cfg.Apps))
+	sat := float64(time.Second) / float64(queueing.IATForLoad(meanCPU, cores, 1.0))
+	spec.Shape = trace.ShapeRamp
+	spec.StartRPS = 0.3 * sat
+	spec.TargetRPS = 1.2 * sat
+	// Mean rate 0.75x saturation sizes the horizon to hold ~N arrivals.
+	spec.Horizon = time.Duration(float64(cfg.N) / (0.75 * sat) * float64(time.Second))
+	return SyntheticStream(spec)
+}
+
+func diurnalFamily(cfg FamilyConfig) trace.Source {
+	return DiurnalStream(DiurnalSpec{N: cfg.N, Cores: cfg.Cores, Load: cfg.Load, Apps: cfg.Apps, Seed: cfg.Seed})
+}
+
+func flashCrowdFamily(cfg FamilyConfig) trace.Source {
+	return FlashCrowdStream(FlashCrowdSpec{N: cfg.N, Cores: cfg.Cores, Load: cfg.Load, Apps: cfg.Apps, Seed: cfg.Seed})
+}
+
+func multiTenantFamily(cfg FamilyConfig) trace.Source {
+	return MultiTenantStream(MultiTenantSpec{N: cfg.N, Cores: cfg.Cores, Load: cfg.Load, Apps: cfg.Apps, Seed: cfg.Seed})
+}
+
+// triggerFamily is the plain-invocation view of the trigger mix; use
+// TriggerStream directly to also get the workflow config it feeds.
+func triggerFamily(cfg FamilyConfig) trace.Source {
+	return TriggerSource(TriggerSpec{N: cfg.N, Cores: cfg.Cores, Load: cfg.Load, Seed: cfg.Seed})
+}

@@ -5,8 +5,6 @@ import (
 	"time"
 
 	"github.com/serverless-sched/sfs/internal/dist"
-	"github.com/serverless-sched/sfs/internal/rng"
-	"github.com/serverless-sched/sfs/internal/task"
 	"github.com/serverless-sched/sfs/internal/trace"
 )
 
@@ -52,10 +50,6 @@ func syntheticStream(spec SyntheticSpec) (trace.Source, *genStats) {
 	if len(spec.Apps) == 0 {
 		spec.Apps = []AppChoice{{Profile: AppFib, Weight: 1}}
 	}
-	r := rng.New(spec.Seed)
-	appR := r.Split()
-	ioR := r.Split()
-	b := newBuilder(spec.Apps, spec.IOFraction, spec.IOMin, spec.IOMax, appR, ioR)
 	inner := trace.NewSynthetic(trace.SynthSpec{
 		Shape:     spec.Shape,
 		StartRPS:  spec.StartRPS,
@@ -67,21 +61,10 @@ func syntheticStream(spec SyntheticSpec) (trace.Source, *genStats) {
 		Duration:  spec.Duration,
 		Seed:      spec.Seed,
 	})
-	stats := &genStats{}
-	var last task.Task // previous arrival, for the IAT accumulator
-	src := trace.Map(inner, func(t *task.Task) *task.Task {
-		if stats.n > 0 {
-			stats.iatSum += t.Arrival - last.Arrival
-		}
-		last.Arrival = t.Arrival
-		// The inner source's Service is the sampled ideal duration; the
-		// builder splits it into CPU and I/O per the app profile.
-		stats.idealSum += t.Service
-		stats.n++
-		return b.build(t.ID, t.Arrival, t.Service)
-	})
+	// The inner source's Service is the sampled ideal duration; the
+	// builder splits it into CPU and I/O per the app profile.
 	desc := fmt.Sprintf("%s × %d apps", inner, len(spec.Apps))
-	return trace.Derive(desc, src.Next, src), stats
+	return builderStream(inner, spec.Apps, spec.IOFraction, spec.IOMin, spec.IOMax, spec.Seed, desc)
 }
 
 // Synthetic materializes the synthetic workload by collecting its
