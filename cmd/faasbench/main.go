@@ -51,6 +51,7 @@
 //	faasbench cluster -in ramp.csv -hosts 2 -host-cores 16 -dispatch JSQ
 //	faasbench cluster -in big.sftb -hosts 1000 -host-cores 4 -dispatch RR -shards 16
 //	faasbench cluster -hosts 4 -dispatch WARMFIRST -keepalive TTL -memory 1024 -arrivals trace
+//	faasbench cluster -hosts 8 -dispatch PREDICTED -sched PSRTF -speeds 1.5x4,0.5x4 -net-delay 200us-2ms
 //	faasbench chain -family LINEAR -depth 4 -sched SFS -arrivals trace -load 0.9
 //	faasbench chain -family DIAMOND -sched CFS -keepalive HIST -memory 2048
 package main
@@ -440,12 +441,22 @@ func cmdCluster(args []string) {
 	in := g.fs.String("in", "", "replay this trace (CSV or binary, sniffed) instead of generating (gen flags ignored)")
 	shards := g.fs.Int("shards", 0, "run the sharded parallel engine with this many shards (0 = serial)")
 	dispatchLatency := g.fs.Duration("dispatch-latency", 0, "sharded mode: dispatcher->host latency and lookahead window (default 1ms)")
+	speedSpec := g.fs.String("speeds", "", "per-host speed factors, e.g. \"1.5x4,0.5x4\" or a single value for all hosts (empty = uniform 1.0)")
+	netDelaySpec := g.fs.String("net-delay", "", "dispatcher->host network delay, e.g. \"500us\" or \"200us-2ms\" (uniform)")
 	ka := newKAFlags(g.fs)
 	g.fs.Parse(args)
 	if *hosts < 1 || *hostCores < 1 {
 		fatal(fmt.Errorf("cluster needs -hosts >= 1 and -host-cores >= 1"))
 	}
 	ka.validate()
+	speeds, err := cluster.ParseSpeeds(*speedSpec, *hosts)
+	if err != nil {
+		fatal(err)
+	}
+	netDelay, err := cluster.ParseNetDelay(*netDelaySpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	var src trace.Source
 	if *in != "" {
@@ -476,6 +487,9 @@ func cmdCluster(args []string) {
 		Dispatcher:      d,
 		Shards:          *shards,
 		DispatchLatency: *dispatchLatency,
+		Speeds:          speeds,
+		NetDelay:        netDelay,
+		NetDelaySeed:    *g.seed,
 	}
 	if ka.enabled() {
 		cfg.NewLifecycle = func() *lifecycle.Manager { return ka.newManager(*g.seed) }

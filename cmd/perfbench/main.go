@@ -7,7 +7,7 @@
 //
 // With -baseline, the run is also a regression gate: every gated
 // benchmark (engine-step, sharded-cluster, trace-binary-decode,
-// trace-binary-encode) may be at most -max-regress slower in ns/op
+// trace-binary-encode, predicted-dispatch) may be at most -max-regress slower in ns/op
 // than the baseline report, otherwise the process exits non-zero.
 // Benchmarks the baseline predates are noted and skipped, so adding a
 // scenario doesn't break the gate until a baseline containing it is

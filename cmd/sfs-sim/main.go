@@ -11,6 +11,7 @@
 //	sfs-sim -sched SFS -fixed-slice 100ms -io-fraction 0.75
 //	sfs-sim -hosts 4 -dispatch JSQ -sched SFS -cores 8 -load 0.9
 //	sfs-sim -hosts 1000 -cores 4 -dispatch RR -shards 16 -workload big.sftb
+//	sfs-sim -hosts 8 -dispatch PREDICTED -sched PSRTF -speeds 1.5x4,0.5x4 -net-delay 200us-2ms
 //	sfs-sim -keepalive HIST -memory 4096 -arrivals trace
 //	sfs-sim -chain LINEAR -chain-depth 4 -sched SFS -load 0.9
 //	sfs-sim -chain DIAMOND -hosts 4 -dispatch WARMFIRST -keepalive TTL
@@ -27,6 +28,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/core"
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/dist"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/sched"
@@ -57,6 +59,15 @@ func (k keepaliveOpts) newManager() (*lifecycle.Manager, error) {
 // report prints the cold-start summary line shared by both modes.
 func (k keepaliveOpts) report(st lifecycle.Stats) {
 	fmt.Println(st.Summary(k.policy))
+}
+
+// fleetOpts carries the cluster fleet-shape flags: heterogeneous host
+// speed factors and the dispatcher->host network-delay distribution.
+// Zero values model the uniform zero-delay fleet.
+type fleetOpts struct {
+	speeds   []float64
+	netDelay dist.Distribution
+	seed     uint64
 }
 
 // chainOpts carries the function-chain workflow flags, with the family
@@ -121,6 +132,8 @@ func main() {
 		wlFile     = flag.String("workload", "", "replay a workload trace, CSV or binary (see faasbench export/convert), instead of generating one")
 		shards     = flag.Int("shards", 0, "cluster mode: run the sharded parallel engine with this many shards (0 = serial)")
 		dispatchL  = flag.Duration("dispatch-latency", 0, "sharded mode: dispatcher->host latency and lookahead window (default 1ms)")
+		speedSpec  = flag.String("speeds", "", "cluster mode: per-host speed factors, e.g. \"1.5x4,0.5x4\" or a single value for all hosts (empty = uniform 1.0)")
+		netDelaySp = flag.String("net-delay", "", "cluster mode: dispatcher->host network delay, e.g. \"500us\" or \"200us-2ms\" (uniform)")
 		startRPS   = flag.Float64("start-rps", 50, "synth arrivals: starting RPS")
 		targetRPS  = flag.Float64("target-rps", 500, "synth arrivals: RPS at the end of the ramp")
 		horizon    = flag.Duration("horizon", 60*time.Second, "synth arrivals: trace span")
@@ -136,6 +149,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-hosts must be at least 1")
 		os.Exit(1)
 	}
+	if (*speedSpec != "" || *netDelaySp != "") && *hosts == 1 {
+		fmt.Fprintln(os.Stderr, "-speeds and -net-delay model the cluster fleet; they need -hosts > 1")
+		os.Exit(1)
+	}
+	speeds, err := cluster.ParseSpeeds(*speedSpec, *hosts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	netDelay, err := cluster.ParseNetDelay(*netDelaySp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fleet := fleetOpts{speeds: speeds, netDelay: netDelay, seed: *seed}
 	ka := keepaliveOpts{policy: *keepalive, memory: *memory, ttl: *kaTTL, seed: *seed}
 	ch := chainOpts{family: *chainName, depth: *chainDepth, seed: *seed}
 	// Validate the family name (and cache its spec) before simulating
@@ -176,7 +204,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *hosts > 1 {
-			runCluster(trace.FromTasks(*wlFile, tasks), *schedName, *dispatch, *hosts, *cores, *shards, *dispatchL, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
+			runCluster(trace.FromTasks(*wlFile, tasks), *schedName, *dispatch, *hosts, *cores, *shards, *dispatchL, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch, fleet)
 			return
 		}
 		runReplay(tasks, *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
@@ -228,7 +256,7 @@ func main() {
 	}
 
 	if *hosts > 1 {
-		runCluster(w.Source(), *schedName, *dispatch, *hosts, *cores, *shards, *dispatchL, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
+		runCluster(w.Source(), *schedName, *dispatch, *hosts, *cores, *shards, *dispatchL, *seed, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch, fleet)
 		return
 	}
 	runReplay(w.Clone(), *schedName, *cores, *fixedSlice, *poll, *noHybrid, *noIO, ka, ch)
@@ -260,7 +288,7 @@ func mkFactory(schedName string, fixedSlice, poll time.Duration, noHybrid, noIO 
 
 // runCluster simulates the source across hosts behind the named
 // dispatch policy and reports merged plus per-host metrics.
-func runCluster(src trace.Source, schedName, dispatch string, hosts, cores, shards int, dispatchLatency time.Duration, seed uint64, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts, ch chainOpts) {
+func runCluster(src trace.Source, schedName, dispatch string, hosts, cores, shards int, dispatchLatency time.Duration, seed uint64, fixedSlice, poll time.Duration, noHybrid, noIO bool, ka keepaliveOpts, ch chainOpts, fleet fleetOpts) {
 	factory, err := mkFactory(schedName, fixedSlice, poll, noHybrid, noIO)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -278,6 +306,9 @@ func runCluster(src trace.Source, schedName, dispatch string, hosts, cores, shar
 		Dispatcher:      d,
 		Shards:          shards,
 		DispatchLatency: dispatchLatency,
+		Speeds:          fleet.speeds,
+		NetDelay:        fleet.netDelay,
+		NetDelaySeed:    fleet.seed,
 	}
 	if ka.enabled() {
 		cfg.NewLifecycle = func() *lifecycle.Manager {

@@ -61,9 +61,22 @@ func TestGuideCoversCoreTasks(t *testing.T) {
 		"-dispatch",
 		"-chain",
 		"-id chain-slowdown",
+		"-speeds",
+		"-net-delay",
+		"-id predicted-dispatch",
 	} {
 		if !strings.Contains(guide, want) {
 			t.Errorf("docs/GUIDE.md does not cover %q", want)
+		}
+	}
+	for _, n := range schedulers.Names() {
+		if !strings.Contains(guide, n) {
+			t.Errorf("docs/GUIDE.md does not mention scheduler %q", n)
+		}
+	}
+	for _, n := range cluster.Names() {
+		if !strings.Contains(guide, n) {
+			t.Errorf("docs/GUIDE.md does not mention dispatch policy %q", n)
 		}
 	}
 	for _, n := range lifecycle.PolicyNames() {
@@ -97,6 +110,8 @@ func TestArchitectureCoversThirdRegistry(t *testing.T) {
 		"internal/lifecycle/policy.go",
 		"internal/chain/family.go",
 		"internal/workload/family.go",
+		"internal/predict",
+		"CompletionObserver",
 		"keep-alive",
 		"lifecycle",
 		"workflow",

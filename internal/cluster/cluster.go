@@ -37,13 +37,16 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
 	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/dist"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/rng"
 	"github.com/serverless-sched/sfs/internal/simtime"
 	"github.com/serverless-sched/sfs/internal/task"
 	"github.com/serverless-sched/sfs/internal/trace"
@@ -57,6 +60,24 @@ type Config struct {
 	CoresPerHost int
 	// CtxSwitchCost is passed through to every host engine.
 	CtxSwitchCost time.Duration
+	// Speeds gives each host a relative CPU speed factor (1.0 =
+	// baseline): host i retires Speeds[i] seconds of CPU demand per
+	// second of wall time, modeling a heterogeneous fleet of machine
+	// generations. Empty means a uniform fleet at 1.0; otherwise the
+	// length must equal Hosts and every factor must be positive and
+	// finite. Task demand accounting stays in unit-speed terms, so the
+	// same trace is comparable across fleets.
+	Speeds []float64
+	// NetDelay, when non-nil, samples a dispatcher→host network delay
+	// for every successful placement, added to the instant the
+	// invocation becomes runnable on its host (on top of any cold
+	// start). Draws come from one cluster-owned stream seeded by
+	// NetDelaySeed, consumed in dispatch order — deterministic at any
+	// shard count. Negative samples are clamped to zero; a negative
+	// mean is rejected at New.
+	NetDelay dist.Distribution
+	// NetDelaySeed seeds the NetDelay sample stream.
+	NetDelaySeed uint64
 	// Deadline aborts the simulation at this virtual time if tasks are
 	// still unfinished (0 = no deadline).
 	Deadline simtime.Time
@@ -103,6 +124,7 @@ type host struct {
 	idx        int
 	eng        *cpusim.Engine
 	mgr        *lifecycle.Manager // nil when lifecycle modeling is off
+	speed      float64
 	dispatched int
 	// pendingSub counts invocations assigned to this host but not yet
 	// submitted to its engine (sharded mode defers submission into the
@@ -114,6 +136,7 @@ type host struct {
 }
 
 func (h *host) Index() int      { return h.idx }
+func (h *host) Speed() float64  { return h.speed }
 func (h *host) Cores() int      { return h.eng.NumCores() }
 func (h *host) InFlight() int   { return h.eng.Pending() + h.pendingSub }
 func (h *host) BusyCores() int  { return h.eng.BusyCores() }
@@ -159,6 +182,8 @@ type HostResult struct {
 	Dispatches  int
 	CtxSwitches int64
 	Utilization float64
+	// Speed is the host's CPU speed factor (1.0 on uniform fleets).
+	Speed float64
 	// Lifecycle holds the host's container warm-pool counters (zero
 	// when lifecycle modeling was off).
 	Lifecycle lifecycle.Stats
@@ -210,6 +235,17 @@ func (res *Result) RenderPerHost() string {
 			res.CentralQueueMax, metrics.FormatDuration(res.QueueDelayMean), metrics.FormatDuration(res.QueueDelayMax))
 	}
 	header := []string{"host", "dispatched", "ctx switches", "util", "p50", "p99", "mean"}
+	// The speed column appears only on heterogeneous fleets, so uniform
+	// output (and every fixture that predates speeds) is unchanged.
+	withSpeed := false
+	for _, hr := range res.PerHost {
+		if hr.Speed != 0 && hr.Speed != 1 {
+			withSpeed = true
+		}
+	}
+	if withSpeed {
+		header = append([]string{header[0], "speed"}, header[1:]...)
+	}
 	withLifecycle := res.Lifecycle.Invocations > 0
 	if withLifecycle {
 		header = append(header, metrics.ColdStartHeader()...)
@@ -220,13 +256,18 @@ func (res *Result) RenderPerHost() string {
 		ps := sum.Percentiles()
 		row := []string{
 			fmt.Sprintf("%d", i),
+		}
+		if withSpeed {
+			row = append(row, fmt.Sprintf("%.2gx", hr.Speed))
+		}
+		row = append(row,
 			fmt.Sprintf("%d", hr.Dispatches),
 			fmt.Sprintf("%d", hr.CtxSwitches),
 			fmt.Sprintf("%.0f%%", hr.Utilization*100),
 			metrics.FormatDuration(ps[0]),
 			metrics.FormatDuration(ps[1]),
 			metrics.FormatDuration(sum.Mean()),
-		}
+		)
 		if withLifecycle {
 			row = append(row, hr.Lifecycle.Columns()...)
 		}
@@ -238,10 +279,24 @@ func (res *Result) RenderPerHost() string {
 
 // Cluster simulates N hosts behind one dispatcher.
 type Cluster struct {
-	cfg   Config
-	hosts []*host
-	views []Host
-	inj   *chain.Injector // nil unless Config.Chain was set
+	cfg    Config
+	hosts  []*host
+	views  []Host
+	inj    *chain.Injector    // nil unless Config.Chain was set
+	obs    CompletionObserver // the dispatcher, when it wants completions
+	netRNG *rng.RNG           // nil unless Config.NetDelay was set
+}
+
+// netDelayOf draws the next dispatch's network delay (zero when the
+// model is off), clamping negative samples.
+func (c *Cluster) netDelayOf() time.Duration {
+	if c.netRNG == nil {
+		return 0
+	}
+	if d := c.cfg.NetDelay.Sample(c.netRNG); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // New validates the config and builds the cluster's hosts.
@@ -267,7 +322,22 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("cluster: negative worker count %d", cfg.Workers)
 	}
+	if len(cfg.Speeds) > 0 && len(cfg.Speeds) != cfg.Hosts {
+		return nil, fmt.Errorf("cluster: %d speed factors for %d hosts", len(cfg.Speeds), cfg.Hosts)
+	}
+	for i, sp := range cfg.Speeds {
+		if sp <= 0 || math.IsNaN(sp) || math.IsInf(sp, 0) {
+			return nil, fmt.Errorf("cluster: host %d has invalid speed factor %v (must be positive and finite)", i, sp)
+		}
+	}
+	if cfg.NetDelay != nil && cfg.NetDelay.Mean() < 0 {
+		return nil, fmt.Errorf("cluster: network delay %s has negative mean %v", cfg.NetDelay, cfg.NetDelay.Mean())
+	}
 	c := &Cluster{cfg: cfg}
+	c.obs, _ = cfg.Dispatcher.(CompletionObserver)
+	if cfg.NetDelay != nil {
+		c.netRNG = rng.New(cfg.NetDelaySeed)
+	}
 	if cfg.Chain != nil {
 		inj, err := chain.NewInjector(*cfg.Chain)
 		if err != nil {
@@ -276,9 +346,14 @@ func New(cfg Config) (*Cluster, error) {
 		c.inj = inj
 	}
 	for i := 0; i < cfg.Hosts; i++ {
-		h := &host{idx: i, eng: cpusim.NewEngine(cpusim.Config{
+		sp := 1.0
+		if len(cfg.Speeds) > 0 {
+			sp = cfg.Speeds[i]
+		}
+		h := &host{idx: i, speed: sp, eng: cpusim.NewEngine(cpusim.Config{
 			Cores:         cfg.CoresPerHost,
 			CtxSwitchCost: cfg.CtxSwitchCost,
+			Speed:         sp,
 		}, cfg.NewScheduler())}
 		if cfg.NewLifecycle != nil {
 			if h.mgr = cfg.NewLifecycle(); h.mgr == nil {
@@ -314,10 +389,13 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 	// owner remembers which container each in-flight invocation holds,
 	// so host completion events can release it back to the warm pool;
 	// finished collects completions for the chain injector, which may
-	// release downstream stages back through the dispatcher.
+	// release downstream stages back through the dispatcher. A
+	// completion-observing dispatcher (PREDICTED) is notified
+	// synchronously at the finish event, before the freed capacity is
+	// re-offered below.
 	var owner map[*task.Task]*lifecycle.Container
 	var finished []*task.Task
-	if c.cfg.NewLifecycle != nil || c.inj != nil {
+	if c.cfg.NewLifecycle != nil || c.inj != nil || c.obs != nil {
 		if c.cfg.NewLifecycle != nil {
 			owner = map[*task.Task]*lifecycle.Container{}
 		}
@@ -332,6 +410,9 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 						h.mgr.Release(ev.At, cont)
 						delete(owner, ev.Task)
 					}
+				}
+				if c.obs != nil {
+					c.obs.TaskFinished(ev.At, h.idx, ev.Task)
 				}
 				if c.inj != nil {
 					finished = append(finished, ev.Task)
@@ -381,6 +462,10 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 				rec.t.Arrival += delay
 			}
 		}
+		// Network delay between dispatcher and host further postpones the
+		// instant the invocation is runnable; the dispatch instant itself
+		// (rec.at, queue-delay accounting) is unaffected.
+		rec.t.Arrival += c.netDelayOf()
 		c.hosts[idx].eng.Submit(rec.t)
 		c.hosts[idx].dispatched++
 		hh.update(idx, c.hosts[idx].key())
@@ -554,6 +639,7 @@ func (c *Cluster) result(records []record, maxQ int, aborted bool) *Result {
 			Dispatches:  h.dispatched,
 			CtxSwitches: h.eng.TotalCtxSwitches,
 			Utilization: util,
+			Speed:       h.speed,
 		}
 		if h.mgr != nil {
 			hr.Lifecycle = h.mgr.Stats()

@@ -3,9 +3,12 @@ package cluster
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"strconv"
 	"strings"
+	"time"
 
+	"github.com/serverless-sched/sfs/internal/predict"
 	"github.com/serverless-sched/sfs/internal/rng"
 	"github.com/serverless-sched/sfs/internal/simtime"
 	"github.com/serverless-sched/sfs/internal/task"
@@ -34,6 +37,11 @@ type Host interface {
 	// app — always 0 when container lifecycle modeling is disabled.
 	// Affinity-aware policies (WARMFIRST) route on it.
 	Warm(app string) int
+	// Speed is the host's relative CPU speed factor (1.0 = baseline):
+	// the host retires Speed seconds of CPU demand per second of wall
+	// time. Speed-aware policies (PREDICTED) normalize predicted work
+	// by it; a uniform fleet reports 1.0 everywhere.
+	Speed() float64
 }
 
 // Dispatcher is the cluster-level placement policy: it decides, for each
@@ -56,6 +64,19 @@ type Dispatcher interface {
 // Hold is the Pick return value that parks an invocation in the central
 // queue instead of assigning it to a host.
 const Hold = -1
+
+// CompletionObserver is implemented by dispatchers that learn from (or
+// release accounting on) task completions, such as PREDICTED. The
+// cluster delivers every finish to the dispatcher that placed it: on
+// the serial path synchronously at the completion event, in sharded
+// mode at the next barrier, merged across shards in deterministic
+// (time, host) order. Either way the observer runs single-threaded on
+// the coordinating goroutine and always before the freed capacity is
+// re-offered to held work.
+type CompletionObserver interface {
+	// TaskFinished reports that t completed on host at virtual time now.
+	TaskFinished(now simtime.Time, host int, t *task.Task)
+}
 
 // ---- policies ----
 
@@ -186,6 +207,63 @@ func (warmFirst) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
 	return leastLoaded{}.Pick(now, t, hosts)
 }
 
+// predicted dispatches each invocation to the host with the minimum
+// predicted completion time: the host's outstanding predicted work
+// (the sum of estimates for everything dispatched there and not yet
+// finished) plus this invocation's own estimate, divided by the host's
+// speed factor — so a 2x host with twice the backlog ties a 1x host,
+// and heterogeneous fleets are balanced in time rather than task
+// count. Estimates come from one shared online estimator
+// (internal/predict) fed by every completion cluster-wide, the
+// dispatch-level counterpart of PSRTF's per-host learning and the
+// placement policy of Przybylski et al.'s data-driven scheduling.
+//
+// Its quality is exactly its predictor's: with converged estimates it
+// approximates least-work-left, and under adversarial priors (cold
+// apps predicted tiny) it piles elephants onto one host — the regime
+// the predicted-dispatch experiment sweeps.
+type predicted struct {
+	est     *predict.Estimator
+	backlog []time.Duration              // outstanding predicted work per host
+	cost    map[*task.Task]time.Duration // what each in-flight task was charged
+}
+
+func newPredicted(est *predict.Estimator) *predicted {
+	return &predicted{est: est, cost: map[*task.Task]time.Duration{}}
+}
+
+func (d *predicted) Name() string { return "PREDICTED" }
+
+// Estimator exposes the shared predictor for tests and harnesses.
+func (d *predicted) Estimator() *predict.Estimator { return d.est }
+
+func (d *predicted) Pick(now simtime.Time, t *task.Task, hosts []Host) int {
+	if len(d.backlog) < len(hosts) {
+		d.backlog = append(d.backlog, make([]time.Duration, len(hosts)-len(d.backlog))...)
+	}
+	p := d.est.Predict(t.App)
+	best, bestScore := 0, math.Inf(1)
+	for i, h := range hosts {
+		if score := float64(d.backlog[i]+p) / h.Speed(); score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	d.backlog[best] += p
+	d.cost[t] = p
+	return best
+}
+
+// TaskFinished implements CompletionObserver: release the completed
+// task's charged estimate from its host's backlog and feed the true
+// demand to the estimator.
+func (d *predicted) TaskFinished(now simtime.Time, host int, t *task.Task) {
+	if c, ok := d.cost[t]; ok {
+		d.backlog[host] -= c
+		delete(d.cost, t)
+	}
+	d.est.Observe(t.App, t.Service)
+}
+
 // ---- registry ----
 
 // FactoryConfig carries the construction parameters a dispatch policy
@@ -196,6 +274,10 @@ type FactoryConfig struct {
 	// Seed drives randomized policies (RANDOM); deterministic policies
 	// ignore it.
 	Seed uint64
+	// Predict configures PREDICTED's online runtime estimator; other
+	// policies ignore it. A zero Predict.Seed inherits Seed so noise
+	// injection stays tied to the run's seed by default.
+	Predict predict.Config
 }
 
 // constructors maps canonical names to policy constructors, mirroring
@@ -209,10 +291,17 @@ var constructors = map[string]func(cfg FactoryConfig) Dispatcher{
 	"PULL":        func(FactoryConfig) Dispatcher { return pullBased{} },
 	"HASH":        func(FactoryConfig) Dispatcher { return hashAffinity{} },
 	"WARMFIRST":   func(FactoryConfig) Dispatcher { return warmFirst{} },
+	"PREDICTED": func(cfg FactoryConfig) Dispatcher {
+		pc := cfg.Predict
+		if pc.Seed == 0 {
+			pc.Seed = cfg.Seed
+		}
+		return newPredicted(predict.New(pc))
+	},
 }
 
 // names in presentation order.
-var names = []string{"RR", "RANDOM", "LEASTLOADED", "JSQ", "PULL", "HASH", "WARMFIRST"}
+var names = []string{"RR", "RANDOM", "LEASTLOADED", "JSQ", "PULL", "HASH", "WARMFIRST", "PREDICTED"}
 
 // Names returns the canonical dispatch-policy names NewDispatcher
 // recognizes.

@@ -72,9 +72,16 @@ func TestNamesIsACopy(t *testing.T) {
 type fakeHost struct {
 	idx, cores, inFlight, busy, dispatched int
 	warm                                   map[string]int
+	speed                                  float64 // 0 reads as 1.0
 }
 
-func (f fakeHost) Index() int          { return f.idx }
+func (f fakeHost) Index() int { return f.idx }
+func (f fakeHost) Speed() float64 {
+	if f.speed == 0 {
+		return 1
+	}
+	return f.speed
+}
 func (f fakeHost) Cores() int          { return f.cores }
 func (f fakeHost) InFlight() int       { return f.inFlight }
 func (f fakeHost) BusyCores() int      { return f.busy }

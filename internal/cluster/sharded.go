@@ -179,7 +179,7 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 		base += n
 	}
 
-	if c.cfg.NewLifecycle != nil || c.inj != nil {
+	if c.cfg.NewLifecycle != nil || c.inj != nil || c.obs != nil {
 		for _, sh := range shards {
 			for li, h := range sh.hosts {
 				sh, h, gi := sh, h, sh.base+li
@@ -193,7 +193,7 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 							delete(sh.owner, ev.Task)
 						}
 					}
-					if c.inj != nil {
+					if c.inj != nil || c.obs != nil {
 						sh.finished = append(sh.finished, finishRec{t: ev.Task, at: ev.At, host: gi})
 					}
 				})
@@ -228,6 +228,11 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 		if at > rec.t.Arrival {
 			rec.t.Arrival = at
 		}
+		// Network delay postpones runnability on the host; the submission
+		// still travels at the dispatch instant, and the coordinator draws
+		// delays in global dispatch order, so the stream is identical at
+		// any shard count.
+		rec.t.Arrival += c.netDelayOf()
 		h := c.hosts[idx]
 		h.pendingSub++
 		h.dispatched++
@@ -314,38 +319,46 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 			}
 		}
 
-		// Completions from the last window free capacity: held work gets
-		// first claim (FIFO), then chain stages released by those
-		// completions re-enter dispatch — the same order the serial loop
-		// uses within a single completion event.
+		// Completions from the last window are merged across shards in
+		// deterministic (time, host, seq) order — equal (time, host)
+		// entries come from one shard, whose append order the stable sort
+		// preserves — then handled in the serial loop's order within a
+		// completion event: a completion-observing dispatcher learns
+		// first, held work gets its claim on the freed capacity (FIFO),
+		// and chain stages released by those completions re-enter
+		// dispatch last.
 		completions := 0
 		for _, sh := range shards {
 			completions += sh.completions
 			sh.completions = 0
 		}
-		if completions > 0 {
-			drainCentral(now)
-		}
-		if c.inj != nil {
-			var finished []finishRec
+		var finished []finishRec
+		if c.inj != nil || c.obs != nil {
 			for _, sh := range shards {
 				finished = append(finished, sh.finished...)
 				sh.finished = sh.finished[:0]
 			}
 			if len(finished) > 0 {
-				// Deterministic cross-shard merge in (time, host, seq)
-				// order: equal (time, host) entries come from one shard,
-				// whose append order the stable sort preserves.
 				sort.SliceStable(finished, func(i, j int) bool {
 					if finished[i].at != finished[j].at {
 						return finished[i].at < finished[j].at
 					}
 					return finished[i].host < finished[j].host
 				})
-				for _, fr := range finished {
-					for _, dt := range c.inj.OnFinish(fr.t) {
-						admit(dt, now)
+				if c.obs != nil {
+					for _, fr := range finished {
+						c.obs.TaskFinished(fr.at, fr.host, fr.t)
 					}
+				}
+			}
+		}
+		if completions > 0 {
+			drainCentral(now)
+		}
+		if c.inj != nil {
+			for _, fr := range finished {
+				for _, dt := range c.inj.OnFinish(fr.t) {
+					admit(dt, now)
 				}
 			}
 		}

@@ -12,6 +12,7 @@ package cpusim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/serverless-sched/sfs/internal/simtime"
@@ -102,6 +103,13 @@ type coreState struct {
 	event    simtime.EventRef
 	lastTask *task.Task    // previous occupant, for switch-cost accounting
 	busyTime time.Duration // total core time consumed (incl. switch cost)
+	// cpuBudget is the CPU progress the pending stint will charge when
+	// its event fires. On a unit-speed host it equals the stint's wall
+	// length minus the switch penalty; on speed-scaled hosts the two
+	// differ (see Config.Speed), and charging the precomputed budget —
+	// rather than re-deriving CPU from wall time — keeps completions
+	// landing exactly on Service with no floating-point drift.
+	cpuBudget time.Duration
 
 	// fire is the core's stint-end callback, built once at engine
 	// construction so the hot path schedules events without allocating
@@ -122,6 +130,15 @@ type Config struct {
 	// Deadline aborts the simulation at this virtual time if tasks are
 	// still unfinished (0 = no deadline). Used by tests to bound runs.
 	Deadline simtime.Time
+	// Speed is the host's relative CPU speed: a task's CPU demand is
+	// consumed at Speed nanoseconds of progress per wall nanosecond, so
+	// a 2.0 host finishes pure-CPU work in half the wall time and a 0.5
+	// host in double. Task Service/CPUUsed stay in demand (unit-speed)
+	// terms; only wall durations scale. Zero means 1.0 (every existing
+	// caller is byte-unchanged); negative panics in NewEngine.
+	// Heterogeneous-fleet simulations (internal/cluster Config.Speeds)
+	// are the consumer.
+	Speed float64
 }
 
 // Engine simulates a multicore machine under one scheduler.
@@ -141,6 +158,7 @@ type Engine struct {
 	SwitchOverhead time.Duration
 	aborted        bool
 	tracer         func(TraceEvent)
+	speed          float64 // normalized Config.Speed (never 0)
 }
 
 // NewEngine constructs an engine for the given scheduler. It panics on a
@@ -149,11 +167,18 @@ func NewEngine(cfg Config, s Scheduler) *Engine {
 	if cfg.Cores <= 0 {
 		panic("cpusim: need at least one core")
 	}
+	if cfg.Speed < 0 || math.IsNaN(cfg.Speed) {
+		panic("cpusim: negative speed factor")
+	}
+	if cfg.Speed == 0 {
+		cfg.Speed = 1
+	}
 	e := &Engine{
 		cfg:   cfg,
 		q:     &simtime.Queue{},
 		sched: s,
 		cores: make([]coreState, cfg.Cores),
+		speed: cfg.Speed,
 	}
 	for i := range e.cores {
 		i := i
@@ -374,32 +399,71 @@ func (e *Engine) place(now simtime.Time, core int, t *task.Task, slice time.Dura
 
 	// The stint ends at the earliest of completion, next I/O op, or
 	// slice expiry — all offset by the switch penalty, during which the
-	// task makes no CPU progress.
-	runFor := t.Remaining()
+	// task makes no CPU progress. Completion and I/O instants live in
+	// CPU-demand terms; the slice budget is wall time, so the two are
+	// compared after converting demand to wall via the host speed (an
+	// identity on unit-speed hosts).
+	cpuFor := t.Remaining()
 	reason := ReasonFinished
 	if io := t.NextIO(); io != nil {
 		// <= so that an I/O op scheduled exactly at the end of the CPU
 		// demand still blocks before the task is declared finished.
-		if untilIO := io.At - t.CPUUsed; untilIO <= runFor {
-			runFor = untilIO
+		if untilIO := io.At - t.CPUUsed; untilIO <= cpuFor {
+			cpuFor = untilIO
 			reason = ReasonBlocked
 		}
 	}
-	if slice > 0 && slice < runFor {
-		runFor = slice
-		reason = ReasonPreempted
+	wallFor := e.wallOf(cpuFor)
+	if slice > 0 && slice < wallFor {
+		// The floor of a sub-stint slice can reach zero CPU on very slow
+		// hosts; clamp to 1ns so every slice makes progress and slice
+		// renewal cannot spin at one instant.
+		cpuSlice := e.cpuOf(slice)
+		if cpuSlice < 1 {
+			cpuSlice = 1
+		}
+		if cpuSlice < cpuFor {
+			cpuFor = cpuSlice
+			wallFor = slice
+			reason = ReasonPreempted
+		}
 	}
-	if runFor < 0 {
+	if cpuFor < 0 {
 		panic("cpusim: negative run segment")
 	}
+	c.cpuBudget = cpuFor
 	c.fireReason = reason
-	c.event = e.q.After(runFor+c.penalty, c.fire)
+	c.event = e.q.After(wallFor+c.penalty, c.fire)
 }
 
-// chargeRun updates accounting for a stint of wall length ran on core c.
-// The switch penalty portion consumes core time but no task CPU progress.
-func (e *Engine) chargeRun(c *coreState, t *task.Task, ran time.Duration) {
-	useful := ran - c.penalty
+// wallOf converts a CPU-demand duration to the wall time this host
+// needs to execute it (identity at unit speed; ceiling division keeps
+// wall events on whole nanoseconds without undershooting demand).
+func (e *Engine) wallOf(cpu time.Duration) time.Duration {
+	if e.speed == 1 || cpu <= 0 {
+		return cpu
+	}
+	w := time.Duration(math.Ceil(float64(cpu) / e.speed))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// cpuOf converts a wall duration to the CPU demand this host retires
+// in it (identity at unit speed; the float truncation never exceeds
+// the exact product, so derived budgets stay conservative).
+func (e *Engine) cpuOf(wall time.Duration) time.Duration {
+	if e.speed == 1 || wall <= 0 {
+		return wall
+	}
+	return time.Duration(float64(wall) * e.speed)
+}
+
+// chargeRun updates accounting for a stint of wall length ran on core
+// c that retired `useful` CPU demand. The switch penalty portion
+// consumes core time but no task CPU progress.
+func (e *Engine) chargeRun(c *coreState, t *task.Task, ran, useful time.Duration) {
 	if useful < 0 {
 		useful = 0
 	}
@@ -420,7 +484,14 @@ func (e *Engine) preempt(now simtime.Time, core int) {
 	}
 	e.q.Cancel(c.event)
 	ran := now - c.runStart
-	e.chargeRun(c, t, ran)
+	// A mid-stint preemption retires the wall progress made so far,
+	// converted to CPU demand; the conversion truncates, so clamp to
+	// the stint's budget (which the cancelled event would have charged).
+	useful := e.cpuOf(ran - c.penalty)
+	if useful > c.cpuBudget {
+		useful = c.cpuBudget
+	}
+	e.chargeRun(c, t, ran, useful)
 	t.CtxSwitches++
 	e.TotalCtxSwitches++
 	e.trace(TracePreempt, core, t)
@@ -439,7 +510,10 @@ func (e *Engine) coreEvent(now simtime.Time, core int, reason DescheduleReason) 
 		panic("cpusim: core event on idle core")
 	}
 	ran := now - c.runStart
-	e.chargeRun(c, t, ran)
+	// The stint event fired exactly when scheduled, so it retires
+	// exactly the CPU budget place() computed — on speed-scaled hosts
+	// this is what lands completions precisely on Service.
+	e.chargeRun(c, t, ran, c.cpuBudget)
 	c.cur = nil
 	c.event = simtime.EventRef{}
 

@@ -1,0 +1,134 @@
+package cpusim_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// runAt drives tasks on a single host with the given speed factor.
+func runAt(t *testing.T, speed float64, s cpusim.Scheduler, cores int, tasks ...*task.Task) *cpusim.Engine {
+	t.Helper()
+	eng := cpusim.NewEngine(cpusim.Config{Cores: cores, Speed: speed, Deadline: time.Hour}, s)
+	eng.Submit(tasks...)
+	eng.Run()
+	if eng.Aborted() {
+		t.Fatal("simulation aborted")
+	}
+	return eng
+}
+
+// TestSpeedScalesCompletion: a 2x host finishes pure-CPU work in half
+// the wall time, a 0.5x host in double; demand accounting stays in
+// unit-speed terms either way.
+func TestSpeedScalesCompletion(t *testing.T) {
+	for _, tc := range []struct {
+		speed  float64
+		finish time.Duration
+	}{
+		{2.0, ms(15)},                  // 30ms demand at 2x
+		{0.5, ms(60)},                  // 30ms demand at 0.5x
+		{4.0, 7500 * time.Microsecond}, // 30ms demand at 4x
+		{1.0, ms(30)},                  // identity
+		{0, ms(30)},                    // zero means 1.0
+	} {
+		tk := task.New(0, 0, ms(30))
+		runAt(t, tc.speed, sched.NewFIFO(), 1, tk)
+		if time.Duration(tk.Finish) != tc.finish {
+			t.Errorf("speed %.1f: finish %v, want %v", tc.speed, tk.Finish, tc.finish)
+		}
+		if tk.CPUUsed != ms(30) {
+			t.Errorf("speed %.1f: CPUUsed %v, want full 30ms demand", tc.speed, tk.CPUUsed)
+		}
+	}
+}
+
+// TestSpeedWithIO: I/O instants are CPU-demand offsets, so a fast host
+// reaches the op sooner but the blocked wall time is unchanged.
+func TestSpeedWithIO(t *testing.T) {
+	// 20ms demand, blocking I/O of 10ms after 10ms of CPU. At 2x: 5ms
+	// CPU + 10ms I/O + 5ms CPU = 20ms wall.
+	tk := task.New(0, 0, ms(20)).WithIO(ms(10), ms(10))
+	runAt(t, 2.0, sched.NewFIFO(), 1, tk)
+	if time.Duration(tk.Finish) != ms(20) {
+		t.Fatalf("finish %v, want 20ms", tk.Finish)
+	}
+	if tk.IOTime != ms(10) {
+		t.Fatalf("IOTime %v, want 10ms", tk.IOTime)
+	}
+	if tk.CPUUsed != ms(20) {
+		t.Fatalf("CPUUsed %v, want 20ms", tk.CPUUsed)
+	}
+}
+
+// TestSpeedWithSlices: a round-robin slice is wall time, so a 2x host
+// retires twice the demand per slice; two equal tasks still finish all
+// demand at the scaled makespan.
+func TestSpeedWithSlices(t *testing.T) {
+	a := task.New(0, 0, ms(20))
+	b := task.New(1, 0, ms(20))
+	runAt(t, 2.0, sched.NewRR(ms(5)), 1, a, b)
+	// 40ms total demand on one core at 2x = 20ms of wall time.
+	last := time.Duration(a.Finish)
+	if time.Duration(b.Finish) > last {
+		last = time.Duration(b.Finish)
+	}
+	if last != ms(20) {
+		t.Fatalf("last finish %v, want 20ms", last)
+	}
+	if a.CPUUsed != ms(20) || b.CPUUsed != ms(20) {
+		t.Fatalf("CPUUsed %v/%v, want 20ms each", a.CPUUsed, b.CPUUsed)
+	}
+}
+
+// TestSpeedPreemptMidStint: preempting a task part way through a stint
+// charges the wall progress converted to demand.
+func TestSpeedPreemptMidStint(t *testing.T) {
+	// SRTF on one core at 2x: the long task starts, and a short task
+	// arriving at wall 5ms preempts it (10ms of demand retired by then).
+	long := task.New(0, 0, ms(40))
+	short := task.New(1, ms(5), ms(2))
+	runAt(t, 2.0, sched.NewSRTF(), 1, long, short)
+	// Short: arrives 5ms, 2ms demand = 1ms wall, finishes 6ms.
+	if time.Duration(short.Finish) != ms(6) {
+		t.Fatalf("short finish %v, want 6ms", short.Finish)
+	}
+	// Long: 40ms demand at 2x = 20ms wall + 1ms preempted = 21ms.
+	if time.Duration(long.Finish) != ms(21) {
+		t.Fatalf("long finish %v, want 21ms", long.Finish)
+	}
+	if long.CPUUsed != ms(40) {
+		t.Fatalf("long CPUUsed %v, want 40ms", long.CPUUsed)
+	}
+}
+
+// TestNegativeSpeedPanics: NewEngine rejects negative speed factors.
+func TestNegativeSpeedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEngine accepted a negative speed factor")
+		}
+	}()
+	cpusim.NewEngine(cpusim.Config{Cores: 1, Speed: -1}, sched.NewFIFO())
+}
+
+// TestFractionalSpeedCompletes: awkward speed factors (repeating
+// decimals in either direction) still land completions exactly on the
+// task's demand with no overrun panic and no stranded remainder.
+func TestFractionalSpeedCompletes(t *testing.T) {
+	for _, speed := range []float64{0.3, 0.7, 1.3, 3.7, 1.0 / 3.0} {
+		tasks := make([]*task.Task, 0, 16)
+		for i := 0; i < 16; i++ {
+			tasks = append(tasks, task.New(i, ms(i), time.Duration(1+i*7919)*time.Microsecond))
+		}
+		runAt(t, speed, sched.NewRR(ms(1)), 2, tasks...)
+		for _, tk := range tasks {
+			if tk.CPUUsed != tk.Service {
+				t.Fatalf("speed %.3f: task %d retired %v of %v", speed, tk.ID, tk.CPUUsed, tk.Service)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-secondlevel", "ablation-baselines", "ablation-window",
 		"ablation-overload", "ablation-tail", "ablation-queueing",
 		"synth-ramp", "cluster-dispatch", "keepalive", "chain-slowdown",
+		"predicted-dispatch",
 	}
 	got := map[string]bool{}
 	for _, e := range All() {

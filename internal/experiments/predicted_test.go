@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/trace"
+)
+
+// TestPredictedTraceDeterministic: the hand-rolled workload must replay
+// byte-identically and carry the per-app identity signal (regular apps
+// plus under-observed cold apps).
+func TestPredictedTraceDeterministic(t *testing.T) {
+	collect := func() []string {
+		var out []string
+		apps := map[string]bool{}
+		src := predictedTrace(500, 32, 0.9, 7)
+		for {
+			tk, ok := src.Next()
+			if !ok {
+				break
+			}
+			apps[tk.App] = true
+			out = append(out, tk.App+tk.Arrival.String()+tk.Service.String())
+		}
+		coldSeen := false
+		for a := range apps {
+			if len(a) > 5 && a[:5] == "cold-" {
+				coldSeen = true
+			}
+		}
+		if !coldSeen {
+			t.Fatal("workload has no cold apps")
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != 500 {
+		t.Fatalf("trace yielded %d tasks, want 500", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d differs across replays:\n%s\nvs\n%s", i, a[i], b[i])
+		}
+	}
+	if err := trace.Err(predictedTrace(10, 32, 0.9, 7)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredictedDispatchRegimeWinners is the experiment's headline
+// claim, asserted: with accurate online predictions PSRTF beats SFS in
+// at least one fleet shape, and under the adversarial cold-app prior
+// the predictor's mistakes convoy elephants and prediction-free SFS
+// wins — so acting on estimates is neither always good nor always bad.
+func TestPredictedDispatchRegimeWinners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cells := predictedDispatchCells(quick)
+	mean := map[[4]string]time.Duration{}
+	for _, c := range cells {
+		mean[[4]string{c.regime, c.fleet, c.sched, c.dispatch}] = c.mean
+		if c.mean <= 0 {
+			t.Fatalf("cell %s/%s/%s/%s has non-positive mean %v", c.regime, c.fleet, c.sched, c.dispatch, c.mean)
+		}
+	}
+	sfs := func(fleet string) time.Duration { return mean[[4]string{"none", fleet, "SFS", "LEASTLOADED"}] }
+	psrtf := func(regime, fleet string) time.Duration {
+		return mean[[4]string{regime, fleet, "PSRTF", "LEASTLOADED"}]
+	}
+
+	// Accurate predictions: PSRTF must win somewhere.
+	if !(psrtf("none", "uniform") < sfs("uniform") || psrtf("none", "hetero") < sfs("hetero")) {
+		t.Errorf("regime none: PSRTF (uniform %v, hetero %v) never beats SFS (uniform %v, hetero %v)",
+			psrtf("none", "uniform"), psrtf("none", "hetero"), sfs("uniform"), sfs("hetero"))
+	}
+	// Adversarial prior: trusting the predictor must lose to SFS.
+	if !(sfs("uniform") < psrtf("adversarial", "uniform")) {
+		t.Errorf("adversarial regime: SFS %v should beat PSRTF %v", sfs("uniform"), psrtf("adversarial", "uniform"))
+	}
+}
+
+// TestPredictedDispatchReport: structural checks — full sweep under
+// "none", predictive-only cells under the error regimes, and winner
+// notes covering every regime.
+func TestPredictedDispatchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep := runPredictedDispatch(quick)
+	// none: 2 fleets x 3 scheds x 3 dispatchers; 2x/adversarial: only
+	// cells with PSRTF or PREDICTED involved (5 per fleet).
+	want := 2*3*3 + 2*2*5
+	if len(rep.Rows) != want {
+		t.Fatalf("report has %d rows, want %d", len(rep.Rows), want)
+	}
+	if len(rep.Notes) != 6 {
+		t.Fatalf("report has %d notes, want 6 (3 regimes x 2 fleets)", len(rep.Notes))
+	}
+}

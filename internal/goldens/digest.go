@@ -7,9 +7,12 @@ import (
 	"time"
 
 	"github.com/serverless-sched/sfs/internal/chain"
+	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/dist"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/sched"
 	"github.com/serverless-sched/sfs/internal/schedulers"
 	"github.com/serverless-sched/sfs/internal/task"
 	"github.com/serverless-sched/sfs/internal/trace"
@@ -144,6 +147,82 @@ func topApps(apps map[string]int, k int) string {
 		parts[i] = fmt.Sprintf("%s:%d", a.app, a.n)
 	}
 	return strings.Join(parts, " ")
+}
+
+// predictedDigestFamilies are the scenario families the prediction
+// digest pins; the fixture-sync test keeps the on-disk set in
+// lockstep.
+var predictedDigestFamilies = []string{"poisson", "diurnal"}
+
+// PredictedDigest renders the prediction layer's golden digest for one
+// scenario family: PSRTF on a single host (the online estimator driving
+// preemption decisions) and the PREDICTED dispatcher over a
+// heterogeneous-speed fleet with a stochastic dispatch network delay —
+// every code path PR 8 added, pinned byte-for-byte.
+func PredictedDigest(family string) (string, error) {
+	src, err := workload.NewFamily(family, workload.FamilyConfig{
+		N: digestN, Cores: digestCores, Seed: digestSeed,
+	})
+	if err != nil {
+		return "", err
+	}
+	tasks := trace.Collect(src)
+	if err := trace.Err(src); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digest v1: predicted family=%s n=%d cores=%d seed=%d\n",
+		strings.ToUpper(family), digestN, digestCores, digestSeed)
+
+	// Single-host PSRTF: learning trajectory included, since estimates
+	// feed back into the schedule.
+	s, err := schedulers.New("PSRTF")
+	if err != nil {
+		return "", err
+	}
+	eng := cpusim.NewEngine(cpusim.Config{Cores: digestCores, Deadline: 10000 * time.Hour}, s)
+	eng.Submit(trace.CloneTasks(tasks)...)
+	eng.Run()
+	r := metrics.Run{Scheduler: "PSRTF", Tasks: eng.Tasks()}
+	ps := r.Percentiles([]float64{50, 99})
+	fmt.Fprintf(&b, "sched=PSRTF: p50=%s p99=%s mean=%s rte50=%.3f rte95=%.3f\n",
+		fd(ps[0]), fd(ps[1]), fd(r.MeanTurnaround()),
+		r.FractionRTEAtLeast(0.5), r.FractionRTEAtLeast(0.95))
+
+	// PREDICTED dispatch over a heterogeneous fleet (same aggregate
+	// capacity as digestCores) with dispatcher→host network delay.
+	const hosts = 4
+	d, err := cluster.NewDispatcher("PREDICTED", cluster.FactoryConfig{Hosts: hosts, Seed: digestSeed})
+	if err != nil {
+		return "", err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Hosts:        hosts,
+		CoresPerHost: digestCores / hosts,
+		NewScheduler: func() cpusim.Scheduler { return sched.NewPSRTF(nil) },
+		Dispatcher:   d,
+		Speeds:       []float64{1.5, 0.5, 1.5, 0.5},
+		NetDelay:     dist.Uniform{Lo: 200 * time.Microsecond, Hi: 2 * time.Millisecond},
+		NetDelaySeed: digestSeed,
+	})
+	if err != nil {
+		return "", err
+	}
+	res, err := cl.Run(trace.FromTasks(family, trace.CloneTasks(tasks)))
+	if err != nil {
+		return "", err
+	}
+	sum := res.Merged.Summarize(50, 99)
+	cps := sum.Percentiles()
+	fmt.Fprintf(&b, "cluster=PSRTFxPREDICTED hosts=%d speeds=1.5/0.5 netdelay=uniform[200µs,2ms): p50=%s p99=%s mean=%s makespan=%s\n",
+		hosts, fd(cps[0]), fd(cps[1]), fd(sum.Mean()), fd(time.Duration(res.Makespan)))
+	var disp []string
+	for i, hr := range res.PerHost {
+		disp = append(disp, fmt.Sprintf("h%d:%d@%.2gx", i, hr.Dispatches, hr.Speed))
+	}
+	fmt.Fprintf(&b, "dispatches: %s\n", strings.Join(disp, " "))
+	return b.String(), nil
 }
 
 // TriggerChainDigest renders the trigger family's workflow-expanded

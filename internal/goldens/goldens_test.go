@@ -27,12 +27,16 @@ func TestGoldenFamilies(t *testing.T) {
 	}
 }
 
-// TestGoldenFixtureSync: every family fixture on disk corresponds to a
-// registered family — deleted families must take their goldens along.
+// TestGoldenFixtureSync: every family and prediction fixture on disk
+// corresponds to a registered family — deleted families must take
+// their goldens along.
 func TestGoldenFixtureSync(t *testing.T) {
 	known := map[string]bool{}
 	for _, f := range workload.FamilyNames() {
 		known["family-"+strings.ToLower(f)+".golden"] = true
+	}
+	for _, f := range predictedDigestFamilies {
+		known["predicted-"+strings.ToLower(f)+".golden"] = true
 	}
 	entries, err := os.ReadDir("testdata")
 	if err != nil {
@@ -40,12 +44,28 @@ func TestGoldenFixtureSync(t *testing.T) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "family-") || !strings.HasSuffix(name, ".golden") {
+		if !strings.HasSuffix(name, ".golden") ||
+			(!strings.HasPrefix(name, "family-") && !strings.HasPrefix(name, "predicted-")) {
 			continue
 		}
 		if !known[name] {
 			t.Errorf("fixture %s has no registered scenario family; delete it or restore the family", name)
 		}
+	}
+}
+
+// TestGoldenPredicted pins the prediction layer — PSRTF hosts, the
+// PREDICTED dispatcher, heterogeneous speeds, and the network-delay
+// stream — on a steady family and a shaped one.
+func TestGoldenPredicted(t *testing.T) {
+	for _, family := range predictedDigestFamilies {
+		t.Run(family, func(t *testing.T) {
+			got, err := PredictedDigest(family)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Check(t, "predicted-"+strings.ToLower(family), got)
+		})
 	}
 }
 

@@ -30,8 +30,10 @@ import (
 	"github.com/serverless-sched/sfs/internal/cluster"
 	"github.com/serverless-sched/sfs/internal/core"
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/dist"
 	"github.com/serverless-sched/sfs/internal/experiments"
 	"github.com/serverless-sched/sfs/internal/metrics"
+	"github.com/serverless-sched/sfs/internal/sched"
 	"github.com/serverless-sched/sfs/internal/trace"
 	"github.com/serverless-sched/sfs/internal/workload"
 )
@@ -49,6 +51,7 @@ func GatedBenchmarks() []string {
 		"sharded-cluster",
 		"trace-binary-decode",
 		"trace-binary-encode",
+		"predicted-dispatch",
 	}
 }
 
@@ -271,6 +274,53 @@ func Scenarios(quick bool, seed uint64) []Scenario {
 						NewScheduler: func() cpusim.Scheduler { return core.New(core.DefaultConfig()) },
 						Dispatcher:   d,
 						Shards:       8,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					src := workload.AzureSampledStream(workload.AzureSampledSpec{
+						N: n, Cores: hosts * cores, Load: 1.0, Seed: seed,
+					})
+					if _, err := cl.Run(src); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tasks/s")
+			},
+		},
+		{
+			// One op = a heterogeneous 16-host fleet run under the
+			// PREDICTED dispatcher with PSRTF hosts, per-host speed
+			// factors, and a stochastic dispatch network delay — the
+			// estimate-driven path: per-dispatch prediction + backlog
+			// accounting, completion observation at the barrier merge,
+			// and speed-scaled engine stints.
+			Name:   "predicted-dispatch",
+			Shards: 4,
+			Bench: func(b *testing.B) {
+				const hosts, cores = 16, 2
+				n := size(quick, 8000)
+				speeds := make([]float64, hosts)
+				for i := range speeds {
+					speeds[i] = 1.5
+					if i%2 == 1 {
+						speeds[i] = 0.5
+					}
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d, err := cluster.NewDispatcher("PREDICTED", cluster.FactoryConfig{Hosts: hosts, Seed: seed})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cl, err := cluster.New(cluster.Config{
+						Hosts: hosts, CoresPerHost: cores,
+						NewScheduler: func() cpusim.Scheduler { return sched.NewPSRTF(nil) },
+						Dispatcher:   d,
+						Shards:       4,
+						Speeds:       speeds,
+						NetDelay:     dist.Uniform{Lo: 200 * time.Microsecond, Hi: 2 * time.Millisecond},
+						NetDelaySeed: seed,
 					})
 					if err != nil {
 						b.Fatal(err)

@@ -125,7 +125,8 @@ func TestScenariosComplete(t *testing.T) {
 		names[s.Name] = true
 	}
 	for _, want := range []string{EngineStepBenchmark, "cluster-dispatch", "sharded-cluster", "chain-run",
-		"trace-decode", "trace-encode", "trace-binary-decode", "trace-binary-encode", "cluster-1m", "metrics-summary"} {
+		"predicted-dispatch", "trace-decode", "trace-encode", "trace-binary-decode",
+		"trace-binary-encode", "cluster-1m", "metrics-summary"} {
 		if !names[want] {
 			t.Errorf("scenario %q missing", want)
 		}

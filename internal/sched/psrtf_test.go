@@ -1,0 +1,115 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/serverless-sched/sfs/internal/predict"
+	"github.com/serverless-sched/sfs/internal/sched"
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// app constructs a named-app task.
+func app(id int, name string, arrival, service time.Duration) *task.Task {
+	tk := task.New(id, arrival, service)
+	tk.App = name
+	return tk
+}
+
+// TestPSRTFLearnsAppOrdering: before any completions PSRTF is
+// estimation-blind (both apps sit at the prior, so arrival order
+// rules); after one completion of each app it has learned which app is
+// short and reverses the order.
+func TestPSRTFLearnsAppOrdering(t *testing.T) {
+	long0 := app(0, "long", 0, ms(100))
+	short0 := app(1, "short", 0, ms(1))
+	// Second wave arrives after the first is fully retired: the long
+	// task first (lower ID, same instant), the short one after it.
+	long1 := app(2, "long", ms(200), ms(100))
+	short1 := app(3, "short", ms(200), ms(1))
+	run(t, sched.NewPSRTF(nil), 1, long0, short0, long1, short1)
+
+	// Cold wave: equal predictions (the prior) mean no preemption, so
+	// the first arrival runs to completion and the short task eats the
+	// full long delay — the no-knowledge cost.
+	if !(long0.Finish < short0.Finish) {
+		t.Fatalf("cold wave: long %v should finish before short %v (arrival order)", long0.Finish, short0.Finish)
+	}
+	// Learned wave: the short app's 1ms estimate preempts the long
+	// task almost immediately.
+	if !(short1.Finish < long1.Finish) {
+		t.Fatalf("learned wave: short %v should finish before long %v", short1.Finish, long1.Finish)
+	}
+	if short1.Finish >= ms(210) {
+		t.Fatalf("learned short finished at %v, want within a few ms of its 200ms arrival", short1.Finish)
+	}
+}
+
+// TestPSRTFAdversarialColdPrior: a tiny prior with a high observation
+// threshold makes every cold app look free — the adversarial regime —
+// so a cold elephant jumps ahead of a well-known mouse.
+func TestPSRTFAdversarialColdPrior(t *testing.T) {
+	est := predict.New(predict.Config{Prior: time.Microsecond, MinObs: 8})
+	for i := 0; i < 8; i++ {
+		est.Observe("mouse", ms(1))
+	}
+	elephant := app(0, "cold-elephant", 0, ms(100))
+	mouse := app(1, "mouse", 0, ms(1))
+	run(t, sched.NewPSRTF(est), 1, elephant, mouse)
+	// The elephant's 1µs cold estimate beats the mouse's learned 1ms,
+	// so the mouse waits out the full 100ms mistake.
+	if !(elephant.Finish < mouse.Finish) {
+		t.Fatalf("adversarial prior: elephant %v should finish before mouse %v", elephant.Finish, mouse.Finish)
+	}
+}
+
+// TestPSRTFApproachesSRTFWithPerfectPerAppPredictions: when app
+// identity fully determines service time and the estimator has
+// observed each app, PSRTF reproduces SRTF's schedule.
+func TestPSRTFApproachesSRTFWithPerfectPerAppPredictions(t *testing.T) {
+	est := predict.New(predict.Config{})
+	durs := map[string]time.Duration{"a": ms(8), "b": ms(4), "c": ms(9), "d": ms(5)}
+	for name, d := range durs {
+		est.Observe(name, d)
+	}
+	mk := func() []*task.Task {
+		return []*task.Task{
+			app(0, "a", 0, ms(8)),
+			app(1, "b", ms(1), ms(4)),
+			app(2, "c", ms(2), ms(9)),
+			app(3, "d", ms(3), ms(5)),
+		}
+	}
+	ps := mk()
+	run(t, sched.NewPSRTF(est), 1, ps...)
+	sr := mk()
+	run(t, sched.NewSRTF(), 1, sr...)
+	for i := range ps {
+		if ps[i].Finish != sr[i].Finish {
+			t.Fatalf("task %d: PSRTF finish %v != SRTF finish %v", i, ps[i].Finish, sr[i].Finish)
+		}
+	}
+}
+
+// TestPSRTFDeterministicReplay: identical inputs yield identical
+// schedules, including the estimator's learning trajectory.
+func TestPSRTFDeterministicReplay(t *testing.T) {
+	replay := func() string {
+		apps := []string{"u", "v", "w"}
+		var tasks []*task.Task
+		for i := 0; i < 60; i++ {
+			tasks = append(tasks, app(i, apps[i%3], time.Duration(i)*ms(2), time.Duration(1+(i*7)%13)*ms(1)))
+		}
+		run(t, sched.NewPSRTF(nil), 2, tasks...)
+		out := ""
+		for _, tk := range tasks {
+			out += fmt.Sprintf("%d:%v;", tk.ID, tk.Finish)
+		}
+		return out
+	}
+	first := replay()
+	if second := replay(); second != first {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", second, first)
+	}
+}

@@ -20,7 +20,7 @@ func ExampleNew() {
 	fmt.Println(err)
 	// Output:
 	// CFS
-	// unknown scheduler "O(1)" (want one of SFS, CFS, EEVDF, FIFO, RR, SRTF, COREGRANULAR, LOTTERY)
+	// unknown scheduler "O(1)" (want one of SFS, CFS, EEVDF, FIFO, RR, SRTF, PSRTF, COREGRANULAR, LOTTERY)
 }
 
 // ExampleNames enumerates the registry, the same list both CLIs print
@@ -36,6 +36,7 @@ func ExampleNames() {
 	// FIFO
 	// RR
 	// SRTF
+	// PSRTF
 	// COREGRANULAR
 	// LOTTERY
 }

@@ -23,12 +23,13 @@ var constructors = map[string]func() cpusim.Scheduler{
 	"FIFO":         func() cpusim.Scheduler { return sched.NewFIFO() },
 	"RR":           func() cpusim.Scheduler { return sched.NewRR(0) },
 	"SRTF":         func() cpusim.Scheduler { return sched.NewSRTF() },
+	"PSRTF":        func() cpusim.Scheduler { return sched.NewPSRTF(nil) },
 	"COREGRANULAR": func() cpusim.Scheduler { return sched.NewCoreGranular() },
 	"LOTTERY":      func() cpusim.Scheduler { return sched.NewLottery(0, 1) },
 }
 
 // names in presentation order.
-var names = []string{"SFS", "CFS", "EEVDF", "FIFO", "RR", "SRTF", "COREGRANULAR", "LOTTERY"}
+var names = []string{"SFS", "CFS", "EEVDF", "FIFO", "RR", "SRTF", "PSRTF", "COREGRANULAR", "LOTTERY"}
 
 // Names returns the canonical scheduler names New recognizes.
 func Names() []string { return append([]string(nil), names...) }
