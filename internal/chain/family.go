@@ -1,11 +1,8 @@
 package chain
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/registry"
 )
 
 // FamilyConfig carries the construction parameters of a named workflow
@@ -59,35 +56,28 @@ func Diamond(cfg FamilyConfig) Spec {
 	return s
 }
 
-// constructors maps canonical names to family constructors — the fourth
-// name → constructor registry alongside internal/schedulers,
-// internal/cluster, and internal/lifecycle, so the CLIs select workflow
-// shapes by flag without the recognized set drifting between tools.
-var constructors = map[string]func(cfg FamilyConfig) Spec{
-	"LINEAR":  Linear,
-	"DIAMOND": Diamond,
-}
-
-// names in presentation order.
-var names = []string{"LINEAR", "DIAMOND"}
+// reg maps canonical names to family constructors in presentation
+// order — the fourth registry on the shared internal/registry helper
+// alongside internal/schedulers, internal/cluster, and
+// internal/lifecycle, so the CLIs select workflow shapes by flag
+// without the recognized set drifting between tools.
+var reg = registry.New[func(cfg FamilyConfig) Spec]("workflow family").
+	Add("LINEAR", Linear).
+	Add("DIAMOND", Diamond)
 
 // FamilyNames returns the canonical workflow family names NewFamily
 // recognizes.
-func FamilyNames() []string { return append([]string(nil), names...) }
+func FamilyNames() []string { return reg.Names() }
 
 // NewFamily constructs a workflow spec by case-insensitive family name.
 func NewFamily(name string, cfg FamilyConfig) (Spec, error) {
-	mk, ok := constructors[strings.ToUpper(name)]
-	if !ok {
-		return Spec{}, fmt.Errorf("unknown workflow family %q (want one of %s)", name, strings.Join(names, ", "))
+	mk, err := reg.Lookup(name)
+	if err != nil {
+		return Spec{}, err
 	}
 	return mk(cfg), nil
 }
 
 // sortedFamilyNames is used by tests to compare registries without
 // caring about presentation order.
-func sortedFamilyNames() []string {
-	out := FamilyNames()
-	sort.Strings(out)
-	return out
-}
+func sortedFamilyNames() []string { return reg.SortedNames() }

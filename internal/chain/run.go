@@ -1,43 +1,12 @@
 package chain
 
 import (
-	"container/heap"
-
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/host"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/simtime"
-	"github.com/serverless-sched/sfs/internal/task"
 	"github.com/serverless-sched/sfs/internal/trace"
 )
-
-// arrival is one pending stage release awaiting its arrival instant.
-type arrival struct {
-	t   *task.Task
-	seq uint64
-}
-
-// arrivalHeap orders pending releases by (arrival time, release
-// sequence) so same-instant releases are submitted in the order their
-// upstream completions produced them — the tie-break that keeps replays
-// byte-identical.
-type arrivalHeap []arrival
-
-func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
-	if h[i].t.Arrival != h[j].t.Arrival {
-		return h[i].t.Arrival < h[j].t.Arrival
-	}
-	return h[i].seq < h[j].seq
-}
-func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
 
 // Run drives a request stream through a workflow injector and a cpusim
 // engine on one global event loop: requests expand into their root
@@ -50,100 +19,19 @@ func (h *arrivalHeap) Pop() any {
 // releases it the moment it finishes, so chains interact with per-app
 // warm pools stage by stage.
 //
-// Engine events fire before same-instant arrivals, exactly as the
-// cluster loop orders them, so same-seed replays are byte-identical.
-// Run installs the engine's tracer to observe completions; the engine
-// must be fresh. Turnarounds measured afterwards are end-to-end: the
-// original arrivals are restored, so cold-start latency counts against
-// each stage (and therefore the workflow).
+// Run is a stage configuration of the unified host runtime
+// (internal/host): lifecycle then chain hooks, in that order, on the
+// runtime's Drive loop — engine events before same-instant arrivals,
+// released stages before same-instant requests, exactly as the cluster
+// loop orders them — so same-seed replays are byte-identical. The
+// engine must be fresh. Turnarounds measured afterwards are
+// end-to-end: the original arrivals are restored, so cold-start
+// latency counts against each stage (and therefore the workflow).
 func Run(src trace.Source, inj *Injector, mgr *lifecycle.Manager, eng *cpusim.Engine) (simtime.Time, error) {
-	owner := map[*task.Task]*lifecycle.Container{}
-	orig := map[*task.Task]simtime.Time{}
-	var tasks []*task.Task
-	var pend arrivalHeap
-	var seq uint64
-
-	// submit hands a stage (or plain invocation) to the engine at its
-	// arrival instant, acquiring its container first when lifecycle
-	// modeling is on.
-	submit := func(t *task.Task) {
-		orig[t] = t.Arrival
-		tasks = append(tasks, t)
-		if mgr != nil {
-			delay, c := mgr.Acquire(t.Arrival, t.App)
-			owner[t] = c
-			if delay > 0 {
-				t.Arrival += delay
-			}
-		}
-		eng.Submit(t)
+	var stages []host.Stage
+	if mgr != nil {
+		stages = append(stages, lifecycle.NewHostStage(mgr))
 	}
-
-	eng.SetTracer(func(ev cpusim.TraceEvent) {
-		if ev.Kind != cpusim.TraceFinish {
-			return
-		}
-		if mgr != nil {
-			if c := owner[ev.Task]; c != nil {
-				mgr.Release(ev.At, c)
-				delete(owner, ev.Task)
-			}
-		}
-		for _, nt := range inj.OnFinish(ev.Task) {
-			// Released stages are not submitted mid-event: they queue
-			// until the loop's clock reaches their arrival, so lifecycle
-			// state always advances in global time order.
-			heap.Push(&pend, arrival{t: nt, seq: seq})
-			seq++
-		}
-	})
-
-	next, more := src.Next()
-	for {
-		// The engine's earliest event, but only while it has unfinished
-		// work: idle engines may hold re-arming timer events (the SFS
-		// monitor) that would spin forever.
-		evT := simtime.Infinity
-		if eng.Pending() > 0 {
-			evT = eng.NextEventTime()
-		}
-		arrT := simtime.Infinity
-		fromHeap := false
-		if pend.Len() > 0 {
-			arrT = pend[0].t.Arrival
-			fromHeap = true
-		}
-		if more && next.Arrival < arrT {
-			// Released stages precede same-instant requests: they
-			// originate from earlier completions.
-			arrT = next.Arrival
-			fromHeap = false
-		}
-		if evT == simtime.Infinity && arrT == simtime.Infinity {
-			break
-		}
-		if evT <= arrT {
-			// Completions free containers (and release stages) the next
-			// arrival can see.
-			eng.StepEvent()
-			continue
-		}
-		if fromHeap {
-			submit(heap.Pop(&pend).(arrival).t)
-			continue
-		}
-		for _, rt := range inj.Expand(next) {
-			submit(rt)
-		}
-		next, more = src.Next()
-	}
-	if err := trace.Err(src); err != nil {
-		return eng.Now(), err
-	}
-	// Restore end-to-end arrivals: turnaround and RTE must charge the
-	// cold start to the stage, not hide it.
-	for _, t := range tasks {
-		t.Arrival = orig[t]
-	}
-	return eng.Now(), nil
+	stages = append(stages, NewHostStage(inj))
+	return host.New(eng, stages...).Drive(src)
 }

@@ -1,7 +1,8 @@
 // Package cluster is the multi-host simulation layer: it fans one
-// trace.Source out across N simulated hosts, each running its own
-// cpusim engine under its own scheduler instance (SFS, CFS, EEVDF, …),
-// and merges per-host results into cluster-level summaries.
+// trace.Source out across N simulated hosts, each a host.Runtime
+// running its own cpusim engine under its own scheduler instance (SFS,
+// CFS, EEVDF, …), and merges per-host results into cluster-level
+// summaries.
 //
 // The paper evaluates SFS on a single host; this layer grows the
 // reproduction into a scheduling-evaluation system for the cluster
@@ -11,12 +12,15 @@
 // Dispatcher decides which host sees each invocation; a central FIFO
 // queue holds work that pull-based policies decline to place.
 //
-// With Config.NewLifecycle set, every host additionally carries a
-// container lifecycle manager (internal/lifecycle): an invocation
+// Per-host behavior is composed from host-runtime stages
+// (internal/host): with Config.NewLifecycle set every host carries a
+// container lifecycle stage (internal/lifecycle) — an invocation
 // acquires a warm or cold container on its dispatched host, cold-start
 // latency delays the instant it becomes runnable there, and dispatch
 // policies can route on warm state (WARMFIRST prefers hosts already
-// holding an idle sandbox for the app).
+// holding an idle sandbox for the app) — and completion-observing
+// dispatchers and the chain coordinator tap completions through
+// further stages on the same pipeline.
 //
 // The simulation is deterministic: every engine is driven from one
 // global loop that always fires the globally-earliest pending event
@@ -32,7 +36,9 @@
 // modeled dispatch latency. Sharded output is deterministic in the
 // same strong sense — identical at any shard and worker count — but
 // models a non-zero dispatcher→host latency, so it is a distinct
-// (coarser-grained) simulation from the zero-latency serial path.
+// (coarser-grained) simulation from the zero-latency serial path. Both
+// paths drive hosts through the same host.Group advance primitives, so
+// a stage wired once works at any -shards count.
 package cluster
 
 import (
@@ -44,6 +50,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/host"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/rng"
@@ -117,54 +124,52 @@ type Config struct {
 	Workers int
 }
 
-// host pairs one engine with its dispatch accounting and (optionally)
-// its container lifecycle manager. It implements the Host view
-// dispatchers decide from.
-type host struct {
+// node pairs one host runtime with its dispatch accounting and
+// (optionally) its container lifecycle manager. It implements the Host
+// view dispatchers decide from. The runtime (and its stage pipeline)
+// is wired at Run start, because the stage set depends on the
+// execution mode.
+type node struct {
 	idx        int
 	eng        *cpusim.Engine
 	mgr        *lifecycle.Manager // nil when lifecycle modeling is off
+	rt         *host.Runtime      // set at Run start
 	speed      float64
 	dispatched int
-	// pendingSub counts invocations assigned to this host but not yet
-	// submitted to its engine (sharded mode defers submission into the
-	// owning shard's window). Folding it into the dispatcher's view
-	// keeps same-window assignments visible to later placement
-	// decisions; it is always zero on the serial path and at barriers
-	// after a window has run.
-	pendingSub int
 }
 
-func (h *host) Index() int      { return h.idx }
-func (h *host) Speed() float64  { return h.speed }
-func (h *host) Cores() int      { return h.eng.NumCores() }
-func (h *host) InFlight() int   { return h.eng.Pending() + h.pendingSub }
-func (h *host) BusyCores() int  { return h.eng.BusyCores() }
-func (h *host) Dispatched() int { return h.dispatched }
+func (n *node) Index() int      { return n.idx }
+func (n *node) Speed() float64  { return n.speed }
+func (n *node) Cores() int      { return n.eng.NumCores() }
+func (n *node) InFlight() int   { return n.eng.Pending() + n.assigned() }
+func (n *node) BusyCores() int  { return n.eng.BusyCores() }
+func (n *node) Dispatched() int { return n.dispatched }
 
-func (h *host) Warm(app string) int {
-	if h.mgr == nil {
+func (n *node) Warm(app string) int {
+	if n.mgr == nil {
 		return 0
 	}
-	return h.mgr.WarmIdle(app)
+	return n.mgr.WarmIdle(app)
 }
 
-func (h *host) Queued() int {
-	if q := h.eng.Pending() + h.pendingSub - h.eng.BusyCores(); q > 0 {
+func (n *node) Queued() int {
+	if q := n.eng.Pending() + n.assigned() - n.eng.BusyCores(); q > 0 {
 		return q
 	}
 	return 0
 }
 
-// key is the host's position in a next-event heap: idle hosts may hold
-// re-arming timer events (e.g. the SFS monitor); stepping those without
-// work would never terminate, exactly as cpusim.Engine.Run stops when
-// its pending count reaches zero. Park them at Infinity instead.
-func (h *host) key() simtime.Time {
-	if h.eng.Pending() == 0 {
-		return simtime.Infinity
+// assigned counts invocations assigned to this host but not yet
+// submitted to its engine (sharded mode defers submission into the
+// owning shard's window). Folding it into the dispatcher's view keeps
+// same-window assignments visible to later placement decisions; it is
+// always zero on the serial path and at barriers after a window has
+// run.
+func (n *node) assigned() int {
+	if n.rt == nil {
+		return 0
 	}
-	return h.eng.NextEventTime()
+	return n.rt.Queued()
 }
 
 // record remembers an invocation's pre-dispatch identity so metrics can
@@ -280,7 +285,7 @@ func (res *Result) RenderPerHost() string {
 // Cluster simulates N hosts behind one dispatcher.
 type Cluster struct {
 	cfg    Config
-	hosts  []*host
+	nodes  []*node
 	views  []Host
 	inj    *chain.Injector    // nil unless Config.Chain was set
 	obs    CompletionObserver // the dispatcher, when it wants completions
@@ -350,20 +355,33 @@ func New(cfg Config) (*Cluster, error) {
 		if len(cfg.Speeds) > 0 {
 			sp = cfg.Speeds[i]
 		}
-		h := &host{idx: i, speed: sp, eng: cpusim.NewEngine(cpusim.Config{
+		n := &node{idx: i, speed: sp, eng: cpusim.NewEngine(cpusim.Config{
 			Cores:         cfg.CoresPerHost,
 			CtxSwitchCost: cfg.CtxSwitchCost,
 			Speed:         sp,
 		}, cfg.NewScheduler())}
 		if cfg.NewLifecycle != nil {
-			if h.mgr = cfg.NewLifecycle(); h.mgr == nil {
+			if n.mgr = cfg.NewLifecycle(); n.mgr == nil {
 				return nil, fmt.Errorf("cluster: NewLifecycle returned nil for host %d", i)
 			}
 		}
-		c.hosts = append(c.hosts, h)
-		c.views = append(c.views, h)
+		c.nodes = append(c.nodes, n)
+		c.views = append(c.views, n)
 	}
 	return c, nil
+}
+
+// wireRuntimes wraps every node's engine in a host.Runtime running the
+// given per-node stage pipeline (nil entries are dropped) and returns
+// the fleet as a slice for host.Group. stagesFor is consulted once per
+// node, in index order.
+func (c *Cluster) wireRuntimes(stagesFor func(n *node) []host.Stage) []*host.Runtime {
+	rts := make([]*host.Runtime, len(c.nodes))
+	for i, n := range c.nodes {
+		n.rt = host.New(n.eng, stagesFor(n)...)
+		rts[i] = n.rt
+	}
+	return rts
 }
 
 // Run pulls the source to exhaustion through the dispatcher and drives
@@ -386,63 +404,51 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 		aborted bool
 	)
 
-	// owner remembers which container each in-flight invocation holds,
-	// so host completion events can release it back to the warm pool;
-	// finished collects completions for the chain injector, which may
-	// release downstream stages back through the dispatcher. A
-	// completion-observing dispatcher (PREDICTED) is notified
-	// synchronously at the finish event, before the freed capacity is
-	// re-offered below.
-	var owner map[*task.Task]*lifecycle.Container
+	// Per-host stage pipelines, hooked in the serial loop's completion
+	// order: the lifecycle stage releases the finished invocation's
+	// container back to the warm pool, a completion-observing
+	// dispatcher (PREDICTED) is notified synchronously at the finish
+	// event — before the freed capacity is re-offered below — and
+	// completions are collected for the chain injector, which may
+	// release downstream stages back through the dispatcher.
 	var finished []*task.Task
-	if c.cfg.NewLifecycle != nil || c.inj != nil || c.obs != nil {
-		if c.cfg.NewLifecycle != nil {
-			owner = map[*task.Task]*lifecycle.Container{}
+	g := host.NewGroup(c.wireRuntimes(func(n *node) []host.Stage {
+		var stages []host.Stage
+		if n.mgr != nil {
+			stages = append(stages, lifecycle.NewHostStage(n.mgr))
 		}
-		for _, h := range c.hosts {
-			h := h
-			h.eng.SetTracer(func(ev cpusim.TraceEvent) {
-				if ev.Kind != cpusim.TraceFinish {
-					return
-				}
-				if owner != nil {
-					if cont := owner[ev.Task]; cont != nil {
-						h.mgr.Release(ev.At, cont)
-						delete(owner, ev.Task)
-					}
-				}
-				if c.obs != nil {
-					c.obs.TaskFinished(ev.At, h.idx, ev.Task)
-				}
-				if c.inj != nil {
-					finished = append(finished, ev.Task)
-				}
-			})
+		if c.obs != nil {
+			hi := n.idx
+			stages = append(stages, host.FinishFunc(func(at simtime.Time, t *task.Task) {
+				c.obs.TaskFinished(at, hi, t)
+			}))
 		}
-	}
-
-	// next-event heap: always knows the globally-earliest host event, so
-	// the main loop below peeks in O(1) instead of scanning every host.
-	hh := newHostHeap(len(c.hosts))
+		if c.inj != nil {
+			stages = append(stages, host.FinishFunc(func(at simtime.Time, t *task.Task) {
+				finished = append(finished, t)
+			}))
+		}
+		return stages
+	}))
 
 	// offer asks the dispatcher to place records[ri], parking it in the
 	// central queue on Hold.
 	offer := func(at simtime.Time, ri int) bool {
 		rec := &records[ri]
-		if owner != nil {
+		if c.cfg.NewLifecycle != nil {
 			// Age out expired containers first so affinity-aware
-			// policies (and the Acquire below) see the warm pools as of
-			// the decision instant.
-			for _, h := range c.hosts {
-				h.mgr.AdvanceTo(at)
+			// policies (and the lifecycle stage's acquire inside Deliver)
+			// see the warm pools as of the decision instant.
+			for _, n := range c.nodes {
+				n.mgr.AdvanceTo(at)
 			}
 		}
 		idx := c.cfg.Dispatcher.Pick(at, rec.t, c.views)
 		if idx == Hold {
 			return false
 		}
-		if idx < 0 || idx >= len(c.hosts) {
-			panic(fmt.Sprintf("cluster: dispatcher %s picked host %d of %d", c.cfg.Dispatcher.Name(), idx, len(c.hosts)))
+		if idx < 0 || idx >= len(c.nodes) {
+			panic(fmt.Sprintf("cluster: dispatcher %s picked host %d of %d", c.cfg.Dispatcher.Name(), idx, len(c.nodes)))
 		}
 		rec.host = idx
 		rec.at = at
@@ -453,22 +459,14 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 		if at > rec.t.Arrival {
 			rec.t.Arrival = at
 		}
-		if owner != nil {
-			// The chosen host acquires a container; a cold start delays
-			// the moment the invocation becomes runnable there.
-			delay, cont := c.hosts[idx].mgr.Acquire(at, rec.t.App)
-			owner[rec.t] = cont
-			if delay > 0 {
-				rec.t.Arrival += delay
-			}
-		}
-		// Network delay between dispatcher and host further postpones the
+		// Network delay between dispatcher and host postpones the
 		// instant the invocation is runnable; the dispatch instant itself
-		// (rec.at, queue-delay accounting) is unaffected.
+		// (rec.at, queue-delay accounting) is unaffected. The chosen
+		// host's lifecycle stage then acquires a container inside
+		// Deliver; a cold start further delays runnability there.
 		rec.t.Arrival += c.netDelayOf()
-		c.hosts[idx].eng.Submit(rec.t)
-		c.hosts[idx].dispatched++
-		hh.update(idx, c.hosts[idx].key())
+		g.Deliver(idx, at, rec.t)
+		c.nodes[idx].dispatched++
 		return true
 	}
 
@@ -503,7 +501,7 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 		// The globally-earliest host event, among hosts that still have
 		// unfinished work (ties break by lowest host index, mirroring
 		// the heap's comparator).
-		heHost, heTime := hh.min()
+		heHost, heTime := g.Min()
 		arrTime := simtime.Infinity
 		if more {
 			arrTime = next.Arrival
@@ -516,14 +514,12 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 				aborted = true
 				break
 			}
-			h := c.hosts[heHost]
-			before := h.eng.Pending()
-			h.eng.StepEvent()
-			hh.update(heHost, h.key())
+			before := c.nodes[heHost].eng.Pending()
+			g.Step(heHost)
 			if heTime > now {
 				now = heTime
 			}
-			if h.eng.Pending() < before {
+			if c.nodes[heHost].eng.Pending() < before {
 				drainCentral(now)
 			}
 			// A completion may release downstream chain stages: they
@@ -577,8 +573,8 @@ func (c *Cluster) Run(src trace.Source) (*Result, error) {
 	// A host with pending tasks but no future events is wedged (its
 	// scheduler parked work without re-arming); surface that as an
 	// abort rather than letting the tasks silently vanish from stats.
-	for _, h := range c.hosts {
-		if h.eng.Pending() > 0 {
+	for _, n := range c.nodes {
+		if n.eng.Pending() > 0 {
 			aborted = true
 		}
 	}
@@ -597,7 +593,7 @@ func (c *Cluster) result(records []record, maxQ int, aborted bool) *Result {
 		Aborted:         aborted,
 	}
 
-	perHost := make([][]*task.Task, len(c.hosts))
+	perHost := make([][]*task.Task, len(c.nodes))
 	all := make([]*task.Task, 0, len(records))
 	var delaySum time.Duration
 	for i := range records {
@@ -621,28 +617,28 @@ func (c *Cluster) result(records []record, maxQ int, aborted bool) *Result {
 		res.QueueDelayMean = delaySum / time.Duration(len(records))
 	}
 
-	label := fmt.Sprintf("%s x%d/%s", schedName, len(c.hosts), res.Dispatcher)
+	label := fmt.Sprintf("%s x%d/%s", schedName, len(c.nodes), res.Dispatcher)
 	res.Merged = metrics.Run{Scheduler: label, Tasks: all}
 	if c.inj != nil {
 		res.Workflows = metrics.WorkflowRun{Scheduler: label, Workflows: c.inj.Workflows()}
 	}
-	for i, h := range c.hosts {
+	for i, n := range c.nodes {
 		// Utilization over the shared cluster horizon, not each host's
 		// local clock: a host that went idle early was idle for the
 		// rest of the run, and per-host columns must be comparable.
 		util := 0.0
 		if res.Makespan > 0 {
-			util = float64(h.eng.BusyTime()) / (float64(res.Makespan) * float64(h.eng.NumCores()))
+			util = float64(n.eng.BusyTime()) / (float64(res.Makespan) * float64(n.eng.NumCores()))
 		}
 		hr := HostResult{
 			Run:         metrics.Run{Scheduler: fmt.Sprintf("%s host%d", schedName, i), Tasks: perHost[i]},
-			Dispatches:  h.dispatched,
-			CtxSwitches: h.eng.TotalCtxSwitches,
+			Dispatches:  n.dispatched,
+			CtxSwitches: n.eng.TotalCtxSwitches,
 			Utilization: util,
-			Speed:       h.speed,
+			Speed:       n.speed,
 		}
-		if h.mgr != nil {
-			hr.Lifecycle = h.mgr.Stats()
+		if n.mgr != nil {
+			hr.Lifecycle = n.mgr.Stats()
 			res.Lifecycle.Add(hr.Lifecycle)
 		}
 		res.PerHost = append(res.PerHost, hr)

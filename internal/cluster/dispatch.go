@@ -1,14 +1,13 @@
 package cluster
 
 import (
-	"fmt"
 	"hash/fnv"
 	"math"
 	"strconv"
-	"strings"
 	"time"
 
 	"github.com/serverless-sched/sfs/internal/predict"
+	"github.com/serverless-sched/sfs/internal/registry"
 	"github.com/serverless-sched/sfs/internal/rng"
 	"github.com/serverless-sched/sfs/internal/simtime"
 	"github.com/serverless-sched/sfs/internal/task"
@@ -280,38 +279,36 @@ type FactoryConfig struct {
 	Predict predict.Config
 }
 
-// constructors maps canonical names to policy constructors, mirroring
-// internal/schedulers so CLIs select dispatchers by flag without the
-// recognized set drifting between tools.
-var constructors = map[string]func(cfg FactoryConfig) Dispatcher{
-	"RR":          func(FactoryConfig) Dispatcher { return &roundRobin{} },
-	"RANDOM":      func(cfg FactoryConfig) Dispatcher { return &random{r: rng.New(cfg.Seed)} },
-	"LEASTLOADED": func(FactoryConfig) Dispatcher { return leastLoaded{} },
-	"JSQ":         func(FactoryConfig) Dispatcher { return joinShortestQueue{} },
-	"PULL":        func(FactoryConfig) Dispatcher { return pullBased{} },
-	"HASH":        func(FactoryConfig) Dispatcher { return hashAffinity{} },
-	"WARMFIRST":   func(FactoryConfig) Dispatcher { return warmFirst{} },
-	"PREDICTED": func(cfg FactoryConfig) Dispatcher {
+// reg maps canonical names to policy constructors in presentation
+// order, on the shared internal/registry helper — the same table shape
+// as internal/schedulers, so CLIs select dispatchers by flag without
+// the recognized set (or the unknown-name behavior) drifting between
+// tools.
+var reg = registry.New[func(cfg FactoryConfig) Dispatcher]("dispatch policy").
+	Add("RR", func(FactoryConfig) Dispatcher { return &roundRobin{} }).
+	Add("RANDOM", func(cfg FactoryConfig) Dispatcher { return &random{r: rng.New(cfg.Seed)} }).
+	Add("LEASTLOADED", func(FactoryConfig) Dispatcher { return leastLoaded{} }).
+	Add("JSQ", func(FactoryConfig) Dispatcher { return joinShortestQueue{} }).
+	Add("PULL", func(FactoryConfig) Dispatcher { return pullBased{} }).
+	Add("HASH", func(FactoryConfig) Dispatcher { return hashAffinity{} }).
+	Add("WARMFIRST", func(FactoryConfig) Dispatcher { return warmFirst{} }).
+	Add("PREDICTED", func(cfg FactoryConfig) Dispatcher {
 		pc := cfg.Predict
 		if pc.Seed == 0 {
 			pc.Seed = cfg.Seed
 		}
 		return newPredicted(predict.New(pc))
-	},
-}
-
-// names in presentation order.
-var names = []string{"RR", "RANDOM", "LEASTLOADED", "JSQ", "PULL", "HASH", "WARMFIRST", "PREDICTED"}
+	})
 
 // Names returns the canonical dispatch-policy names NewDispatcher
 // recognizes.
-func Names() []string { return append([]string(nil), names...) }
+func Names() []string { return reg.Names() }
 
 // NewDispatcher constructs a dispatch policy by case-insensitive name.
 func NewDispatcher(name string, cfg FactoryConfig) (Dispatcher, error) {
-	mk, ok := constructors[strings.ToUpper(name)]
-	if !ok {
-		return nil, fmt.Errorf("unknown dispatch policy %q (want one of %s)", name, strings.Join(names, ", "))
+	mk, err := reg.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return mk(cfg), nil
 }

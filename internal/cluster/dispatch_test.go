@@ -8,20 +8,22 @@ import (
 	"github.com/serverless-sched/sfs/internal/task"
 )
 
-// TestRegistryNamesInSync: Names() and the constructor map must cover
-// exactly the same policies, and each constructed policy must report
-// its canonical name.
+// TestRegistryNamesInSync: every presented name must be unique and
+// resolvable, and each constructed policy must report its canonical
+// name. (The shared registry helper enforces name↔constructor sync
+// structurally; this pins the public surface.)
 func TestRegistryNamesInSync(t *testing.T) {
-	if len(names) != len(constructors) {
-		t.Fatalf("names has %d entries, constructors %d", len(names), len(constructors))
-	}
-	for _, n := range names {
-		mk, ok := constructors[n]
-		if !ok {
-			t.Errorf("name %s has no constructor", n)
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Errorf("duplicate name %s", n)
+		}
+		seen[n] = true
+		d, err := NewDispatcher(n, FactoryConfig{Hosts: 4, Seed: 1})
+		if err != nil {
+			t.Errorf("name %s has no constructor: %v", n, err)
 			continue
 		}
-		d := mk(FactoryConfig{Hosts: 4, Seed: 1})
 		if d.Name() != n {
 			t.Errorf("policy %s reports name %s", n, d.Name())
 		}

@@ -6,7 +6,7 @@ import (
 	"sort"
 	"time"
 
-	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/host"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/simtime"
 	"github.com/serverless-sched/sfs/internal/task"
@@ -15,15 +15,15 @@ import (
 
 // Sharded conservative parallel discrete-event simulation.
 //
-// Hosts are partitioned into contiguous shards, each owning a private
-// next-event heap over its hosts. Virtual time is cut into fixed
-// windows [k·L, (k+1)·L) where L is the modeled dispatcher→host
-// latency (Config.DispatchLatency): because every cluster-level
-// interaction — placement of an arrival, a central-queue claim, a
-// chain-stage handoff — takes at least L to reach a host, no event
-// inside a window can influence another shard within the same window.
-// That is the conservative lookahead: shards advance through a window
-// in parallel with no locks and no cross-shard reads.
+// Hosts are partitioned into contiguous shards, each a host.Group over
+// its runtimes with a private next-event heap. Virtual time is cut
+// into fixed windows [k·L, (k+1)·L) where L is the modeled
+// dispatcher→host latency (Config.DispatchLatency): because every
+// cluster-level interaction — placement of an arrival, a central-queue
+// claim, a chain-stage handoff — takes at least L to reach a host, no
+// event inside a window can influence another shard within the same
+// window. That is the conservative lookahead: shards advance through a
+// window in parallel with no locks and no cross-shard reads.
 //
 // The coordinator runs single-threaded at each barrier. It advances
 // lifecycle clocks to the barrier, collects the window's completions
@@ -31,20 +31,20 @@ import (
 // shard's append order, preserved by a stable sort), lets the chain
 // injector release downstream stages, re-offers centrally-held work,
 // admits every source arrival inside the next window, and hands each
-// assignment to the owning shard as a timestamped submission. Shards
-// interleave submissions with host events in exact time order (host
-// events first on ties, as on the serial path), so a host's event
-// sequence depends only on the submissions it receives — never on how
-// hosts are partitioned or which worker goroutine runs the shard.
-// Everything the coordinator computes (dispatch decisions, window
-// bounds, admission order) is a function of barrier-time state that is
-// itself shard-count-independent, so the same seed yields byte-
-// identical results at any -shards / -workers setting.
+// assignment to the owning shard's group as a timestamped submission.
+// Group.Advance interleaves submissions with host events in exact time
+// order (host events first on ties, as on the serial path), so a
+// host's event sequence depends only on the submissions it receives —
+// never on how hosts are partitioned or which worker goroutine runs
+// the shard. Everything the coordinator computes (dispatch decisions,
+// window bounds, admission order) is a function of barrier-time state
+// that is itself shard-count-independent, so the same seed yields
+// byte-identical results at any -shards / -workers setting.
 //
 // Dispatch decisions observe host state as of the window boundary
-// (plus assignments already made this window, via host.pendingSub);
-// the serial path instead observes the exact decision instant. The
-// sharded engine therefore models a cluster whose dispatcher works
+// (plus assignments already made this window, via the runtime's Queued
+// count); the serial path instead observes the exact decision instant.
+// The sharded engine therefore models a cluster whose dispatcher works
 // from slightly stale state — the price of the latency it models, not
 // a bug; determinism is defined within sharded mode, with -shards 1 as
 // the reference.
@@ -54,15 +54,6 @@ import (
 // the cluster dispatcher and any host.
 const DefaultDispatchLatency = time.Millisecond
 
-// submission is one placed invocation traveling to its host: it was
-// assigned by the coordinator and will enter the host engine at `at`
-// during the owning shard's next window.
-type submission struct {
-	t    *task.Task
-	at   simtime.Time
-	host int // shard-local host index
-}
-
 // finishRec is one completion observed inside a window, reported to
 // the coordinator at the barrier for chain-stage release.
 type finishRec struct {
@@ -71,75 +62,23 @@ type finishRec struct {
 	host int // global host index
 }
 
-// shard owns a contiguous run of hosts and advances them through
-// barrier-delimited windows. Between barriers a shard is touched only
-// by its worker; at barriers only by the coordinator.
+// shard owns a contiguous run of hosts — a host.Group plus its barrier
+// report. Between barriers a shard is touched only by its worker; at
+// barriers only by the coordinator.
 type shard struct {
-	hosts   []*host
-	base    int // global index of hosts[0]
-	hh      *hostHeap
-	subs    []submission // time-ordered; coordinator appends, window consumes
-	subHead int
+	grp  *host.Group
+	base int // global index of the group's runtime 0
 	// finished and completions are the shard's barrier report: chain
 	// completions in observation order, and the count of tasks that
 	// left the engines this window (feeds central-queue re-offers).
 	finished    []finishRec
 	completions int
-	owner       map[*task.Task]*lifecycle.Container // nil without lifecycle
 }
 
 // advance runs the shard's hosts up to (but excluding) bound,
 // interleaving pending submissions with host events in time order.
 func (sh *shard) advance(bound simtime.Time) {
-	pendingBefore := 0
-	for _, h := range sh.hosts {
-		pendingBefore += h.eng.Pending()
-	}
-	submitted := 0
-	for {
-		hi, ht := sh.hh.min()
-		st := simtime.Infinity
-		if sh.subHead < len(sh.subs) {
-			st = sh.subs[sh.subHead].at
-		}
-		if ht >= bound && st >= bound {
-			break
-		}
-		if ht <= st {
-			// Host events fire before same-instant submissions, exactly
-			// as the serial loop fires host events before same-instant
-			// arrivals.
-			h := sh.hosts[hi]
-			h.eng.StepEvent()
-			sh.hh.update(hi, h.key())
-			continue
-		}
-		sub := sh.subs[sh.subHead]
-		sh.subHead++
-		h := sh.hosts[sub.host]
-		if h.mgr != nil {
-			// The host acquires a container at the submission instant; a
-			// cold start delays the moment the invocation is runnable.
-			delay, cont := h.mgr.Acquire(sub.at, sub.t.App)
-			sh.owner[sub.t] = cont
-			if delay > 0 {
-				sub.t.Arrival += delay
-			}
-		}
-		h.eng.Submit(sub.t)
-		h.pendingSub--
-		submitted++
-		sh.hh.update(sub.host, h.key())
-	}
-	pendingAfter := 0
-	for _, h := range sh.hosts {
-		pendingAfter += h.eng.Pending()
-	}
-	sh.completions += pendingBefore + submitted - pendingAfter
-	if sh.subHead == len(sh.subs) {
-		sh.subs = sh.subs[:0]
-		sh.subHead = 0
-	}
+	sh.completions += sh.grp.Advance(bound)
 }
 
 // runSharded is Run's sharded-mode twin: same contract, parallel
@@ -154,51 +93,48 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 		lookahead = DefaultDispatchLatency
 	}
 	nShards := c.cfg.Shards
-	if nShards > len(c.hosts) {
-		nShards = len(c.hosts)
+	if nShards > len(c.nodes) {
+		nShards = len(c.nodes)
 	}
 
-	// Contiguous partition, sizes differing by at most one.
+	// Contiguous partition, sizes differing by at most one. Each node's
+	// stage pipeline reports into its owning shard: the lifecycle stage
+	// releases containers inside the window, while completions queue in
+	// the shard's barrier report (the coordinator notifies a
+	// completion-observing dispatcher only at barriers, in merged
+	// deterministic order — unlike the serial path's synchronous
+	// notify).
 	shards := make([]*shard, nShards)
-	shardOf := make([]int, len(c.hosts))
-	per, rem := len(c.hosts)/nShards, len(c.hosts)%nShards
+	shardOf := make([]int, len(c.nodes))
+	per, rem := len(c.nodes)/nShards, len(c.nodes)%nShards
 	base := 0
 	for s := range shards {
 		n := per
 		if s < rem {
 			n++
 		}
-		sh := &shard{hosts: c.hosts[base : base+n], base: base, hh: newHostHeap(n)}
-		if c.cfg.NewLifecycle != nil {
-			sh.owner = map[*task.Task]*lifecycle.Container{}
-		}
+		sh := &shard{base: base}
 		for i := base; i < base+n; i++ {
 			shardOf[i] = s
 		}
+		rts := make([]*host.Runtime, 0, n)
+		for _, nd := range c.nodes[base : base+n] {
+			var stages []host.Stage
+			if nd.mgr != nil {
+				stages = append(stages, lifecycle.NewHostStage(nd.mgr))
+			}
+			if c.inj != nil || c.obs != nil {
+				gi := nd.idx
+				stages = append(stages, host.FinishFunc(func(at simtime.Time, t *task.Task) {
+					sh.finished = append(sh.finished, finishRec{t: t, at: at, host: gi})
+				}))
+			}
+			nd.rt = host.New(nd.eng, stages...)
+			rts = append(rts, nd.rt)
+		}
+		sh.grp = host.NewGroup(rts)
 		shards[s] = sh
 		base += n
-	}
-
-	if c.cfg.NewLifecycle != nil || c.inj != nil || c.obs != nil {
-		for _, sh := range shards {
-			for li, h := range sh.hosts {
-				sh, h, gi := sh, h, sh.base+li
-				h.eng.SetTracer(func(ev cpusim.TraceEvent) {
-					if ev.Kind != cpusim.TraceFinish {
-						return
-					}
-					if sh.owner != nil {
-						if cont := sh.owner[ev.Task]; cont != nil {
-							h.mgr.Release(ev.At, cont)
-							delete(sh.owner, ev.Task)
-						}
-					}
-					if c.inj != nil || c.obs != nil {
-						sh.finished = append(sh.finished, finishRec{t: ev.Task, at: ev.At, host: gi})
-					}
-				})
-			}
-		}
 	}
 
 	var (
@@ -211,17 +147,17 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 
 	// offer asks the dispatcher to place records[ri] as of the
 	// coordinator's current view, routing the assignment to the owning
-	// shard as a submission at `at`. Unlike the serial path, nothing
-	// touches the host engine here — the shard performs the acquire and
-	// submit inside its window.
+	// shard's group as a submission at `at`. Unlike the serial path,
+	// nothing touches the host engine here — the group performs the
+	// stage hooks and submit inside its window.
 	offer := func(at simtime.Time, ri int) bool {
 		rec := &records[ri]
 		idx := c.cfg.Dispatcher.Pick(at, rec.t, c.views)
 		if idx == Hold {
 			return false
 		}
-		if idx < 0 || idx >= len(c.hosts) {
-			panic(fmt.Sprintf("cluster: dispatcher %s picked host %d of %d", c.cfg.Dispatcher.Name(), idx, len(c.hosts)))
+		if idx < 0 || idx >= len(c.nodes) {
+			panic(fmt.Sprintf("cluster: dispatcher %s picked host %d of %d", c.cfg.Dispatcher.Name(), idx, len(c.nodes)))
 		}
 		rec.host = idx
 		rec.at = at
@@ -233,11 +169,9 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 		// delays in global dispatch order, so the stream is identical at
 		// any shard count.
 		rec.t.Arrival += c.netDelayOf()
-		h := c.hosts[idx]
-		h.pendingSub++
-		h.dispatched++
+		c.nodes[idx].dispatched++
 		sh := shards[shardOf[idx]]
-		sh.subs = append(sh.subs, submission{t: rec.t, at: at, host: idx - sh.base})
+		sh.grp.Enqueue(idx-sh.base, at, rec.t)
 		return true
 	}
 
@@ -313,9 +247,10 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 		// ---- barrier: coordinator owns all state ----
 		if c.cfg.NewLifecycle != nil {
 			// One monotone advance per barrier; shards move each manager
-			// forward again during the window via Acquire/Release.
-			for _, h := range c.hosts {
-				h.mgr.AdvanceTo(now)
+			// forward again during the window via the lifecycle stage's
+			// acquire/release hooks.
+			for _, n := range c.nodes {
+				n.mgr.AdvanceTo(now)
 			}
 		}
 
@@ -370,12 +305,10 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 			earliest = next.Arrival
 		}
 		for _, sh := range shards {
-			if sh.subHead < len(sh.subs) {
-				if st := sh.subs[sh.subHead].at; st < earliest {
-					earliest = st
-				}
+			if st := sh.grp.NextSubmissionTime(); st < earliest {
+				earliest = st
 			}
-			if _, ht := sh.hh.min(); ht < earliest {
+			if _, ht := sh.grp.Min(); ht < earliest {
 				earliest = ht
 			}
 		}
@@ -428,8 +361,8 @@ func (c *Cluster) runSharded(src trace.Source) (*Result, error) {
 	if err := trace.Err(src); err != nil {
 		return nil, err
 	}
-	for _, h := range c.hosts {
-		if h.eng.Pending() > 0 {
+	for _, n := range c.nodes {
+		if n.eng.Pending() > 0 {
 			aborted = true
 		}
 	}

@@ -260,15 +260,22 @@ func (e *Engine) Run() simtime.Time {
 	return e.q.Now()
 }
 
-// NextEventTime returns the virtual time of the engine's earliest
-// pending event, or simtime.Infinity when the event queue is empty.
-// External drivers (internal/cluster) use it to interleave several
-// engines in global virtual-time order.
-func (e *Engine) NextEventTime() simtime.Time { return e.q.PeekTime() }
+// NextPendingEventTime returns the virtual time of the engine's
+// earliest pending event, gated on unfinished work: it returns
+// simtime.Infinity once every submitted task has completed, even if
+// the event queue still holds re-arming timer events (the SFS
+// monitor) that would otherwise spin an external driver forever. This
+// is the key every drive loop (internal/host) orders hosts by.
+func (e *Engine) NextPendingEventTime() simtime.Time {
+	if e.pending == 0 {
+		return simtime.Infinity
+	}
+	return e.q.PeekTime()
+}
 
 // StepEvent fires the engine's earliest pending event, advancing the
 // engine's local clock to its time. It returns false when no events
-// remain. Together with NextEventTime and incremental Submit it lets a
+// remain. Together with NextPendingEventTime and incremental Submit it lets a
 // multi-host driver step many engines in lockstep: always step the
 // engine whose next event is globally earliest, and submit tasks with
 // arrivals at or after the global clock.

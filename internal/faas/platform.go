@@ -28,6 +28,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/chain"
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/dist"
+	"github.com/serverless-sched/sfs/internal/host"
 	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/rng"
@@ -265,8 +266,10 @@ func (p *Platform) RunTrace(src trace.Source, s cpusim.Scheduler) Result {
 			panic(err) // the source cannot fail: the slice was collected
 		}
 	default:
-		eng.Submit(tasks...)
-		makespan = eng.Run()
+		var err error
+		if makespan, err = host.New(eng).Drive(perturbedSource()); err != nil {
+			panic(err) // the source cannot fail: the slice was collected
+		}
 	}
 	if mgr != nil {
 		lstats = mgr.Stats()

@@ -1,0 +1,103 @@
+package host
+
+import "github.com/serverless-sched/sfs/internal/simtime"
+
+// Heap is an index-addressable binary min-heap of runtime indices
+// keyed by each runtime's next pending event time. It replaces the
+// O(hosts) scan the global event loop used to run before every step:
+// peeking the globally-earliest runtime is O(1) and re-keying a
+// runtime after it steps or receives work is O(log hosts).
+//
+// Ordering matches the scan it replaced exactly — earliest time first,
+// ties broken by lowest index — so replays are byte-identical at any
+// host count. Runtimes with no pending work are parked at
+// simtime.Infinity rather than removed, which keeps every runtime
+// addressable by index.
+type Heap struct {
+	key  []simtime.Time // runtime index -> current key
+	heap []int          // heap of runtime indices
+	pos  []int          // runtime index -> position in heap
+}
+
+// NewHeap builds a heap of n runtimes, all parked at Infinity.
+func NewHeap(n int) *Heap {
+	h := &Heap{
+		key:  make([]simtime.Time, n),
+		heap: make([]int, n),
+		pos:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		h.key[i] = simtime.Infinity
+		h.heap[i] = i
+		h.pos[i] = i
+	}
+	return h
+}
+
+// Min returns the runtime with the earliest key (lowest index on ties)
+// and that key. Runtimes with no work report simtime.Infinity.
+func (h *Heap) Min() (idx int, at simtime.Time) {
+	top := h.heap[0]
+	return top, h.key[top]
+}
+
+// Update re-keys runtime i and restores the heap invariant.
+func (h *Heap) Update(i int, at simtime.Time) {
+	if h.key[i] == at {
+		return
+	}
+	h.key[i] = at
+	p := h.pos[i]
+	if !h.up(p) {
+		h.down(p)
+	}
+}
+
+// less orders heap positions by (key, runtime index); the index
+// tie-break reproduces the old scan's first-minimum choice.
+func (h *Heap) less(a, b int) bool {
+	ha, hb := h.heap[a], h.heap[b]
+	if h.key[ha] != h.key[hb] {
+		return h.key[ha] < h.key[hb]
+	}
+	return ha < hb
+}
+
+func (h *Heap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *Heap) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,4 +1,4 @@
-package cluster
+package host
 
 import (
 	"testing"
@@ -8,12 +8,12 @@ import (
 	"github.com/serverless-sched/sfs/internal/simtime"
 )
 
-// TestHostHeapMatchesScan drives the heap with random re-keys and checks
+// TestHeapMatchesScan drives the heap with random re-keys and checks
 // its minimum against the linear scan it replaced (earliest time wins,
-// ties by lowest host index) after every update.
-func TestHostHeapMatchesScan(t *testing.T) {
+// ties by lowest runtime index) after every update.
+func TestHeapMatchesScan(t *testing.T) {
 	const hosts = 9
-	h := newHostHeap(hosts)
+	h := NewHeap(hosts)
 	keys := make([]simtime.Time, hosts)
 	for i := range keys {
 		keys[i] = simtime.Infinity
@@ -26,7 +26,7 @@ func TestHostHeapMatchesScan(t *testing.T) {
 			}
 		}
 		if best < 0 {
-			// All parked: the heap reports some host at Infinity; the
+			// All parked: the heap reports some runtime at Infinity; the
 			// index is irrelevant because callers guard on the key.
 			return h.heap[0], simtime.Infinity
 		}
@@ -39,19 +39,19 @@ func TestHostHeapMatchesScan(t *testing.T) {
 		var k simtime.Time
 		switch r.Intn(4) {
 		case 0:
-			k = simtime.Infinity // host went idle
+			k = simtime.Infinity // runtime went idle
 		default:
 			// Coarse buckets force frequent exact ties so the
 			// index tie-break is actually exercised.
 			k = time.Duration(r.Intn(50)) * time.Millisecond
 		}
 		keys[i] = k
-		h.update(i, k)
+		h.Update(i, k)
 
 		wantHost, wantAt := scanMin()
-		gotHost, gotAt := h.min()
+		gotHost, gotAt := h.Min()
 		if gotAt != wantAt || (wantAt < simtime.Infinity && gotHost != wantHost) {
-			t.Fatalf("step %d: heap min (host %d, %v), scan min (host %d, %v)",
+			t.Fatalf("step %d: heap min (runtime %d, %v), scan min (runtime %d, %v)",
 				step, gotHost, gotAt, wantHost, wantAt)
 		}
 	}

@@ -1,0 +1,57 @@
+package host
+
+import (
+	"container/heap"
+
+	"github.com/serverless-sched/sfs/internal/task"
+)
+
+// hookQueue is the single ordered queue of released arrivals shared by
+// every drive loop. It orders pending releases by (arrival time,
+// release sequence) so same-instant releases are submitted in the
+// order their upstream completions produced them — the tie-break that
+// keeps replays byte-identical. It replaces the two hand-rolled lazy
+// queues the lifecycle and chain drivers used to carry.
+type hookQueue struct{ h releaseHeap }
+
+func (q *hookQueue) push(t *task.Task, seq uint64) {
+	heap.Push(&q.h, release{t: t, seq: seq})
+}
+
+// head returns the earliest pending release without removing it, or
+// nil when the queue is empty.
+func (q *hookQueue) head() *task.Task {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0].t
+}
+
+func (q *hookQueue) pop() *task.Task {
+	return heap.Pop(&q.h).(release).t
+}
+
+// release is one pending stage release awaiting its arrival instant.
+type release struct {
+	t   *task.Task
+	seq uint64
+}
+
+type releaseHeap []release
+
+func (h releaseHeap) Len() int { return len(h) }
+func (h releaseHeap) Less(i, j int) bool {
+	if h[i].t.Arrival != h[j].t.Arrival {
+		return h[i].t.Arrival < h[j].t.Arrival
+	}
+	return h[i].seq < h[j].seq
+}
+func (h releaseHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x any)   { *h = append(*h, x.(release)) }
+func (h *releaseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

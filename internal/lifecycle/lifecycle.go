@@ -209,7 +209,6 @@ type Manager struct {
 	seq      uint64
 	now      simtime.Time
 	usedMB   int
-	nWarm    int // total idle containers across apps
 	lruClock int
 	stats    Stats
 }
@@ -315,7 +314,6 @@ func (m *Manager) Acquire(now simtime.Time, app string) (time.Duration, *Contain
 		// hottest sandbox hot and lets the colder end age out).
 		c := pool[len(pool)-1]
 		m.idle[app] = pool[:len(pool)-1]
-		m.nWarm--
 		m.cancelExpiry(c)
 		c.busy = true
 		c.lastUsed = now
@@ -354,7 +352,6 @@ func (m *Manager) Release(now simtime.Time, c *Container) {
 		m.stats.Discards++
 	} else {
 		m.idle[c.App] = append(m.idle[c.App], c)
-		m.nWarm++
 		m.scheduleExpiry(now, c, d.KeepWarm)
 	}
 	if d.PrewarmIn > 0 {
@@ -366,9 +363,6 @@ func (m *Manager) Release(now simtime.Time, c *Container) {
 // of the last observed virtual time (callers that can see a later clock
 // should AdvanceTo first). Affinity-aware dispatchers read it.
 func (m *Manager) WarmIdle(app string) int { return len(m.idle[app]) }
-
-// WarmTotal returns the total idle warm containers across applications.
-func (m *Manager) WarmTotal() int { return m.nWarm }
 
 // UsedMB returns current container memory, busy plus idle.
 func (m *Manager) UsedMB() int { return m.usedMB }
@@ -435,7 +429,6 @@ func (m *Manager) removeIdle(c *Container) {
 	for i, o := range pool {
 		if o == c {
 			m.idle[c.App] = append(pool[:i], pool[i+1:]...)
-			m.nWarm--
 			return
 		}
 	}
@@ -495,7 +488,6 @@ func (m *Manager) materializePrewarm(e *event) {
 	}
 	c := &Container{App: e.app, Prewarmed: true, mb: mb, idleSince: e.at, lastUsed: e.at}
 	m.idle[e.app] = append(m.idle[e.app], c)
-	m.nWarm++
 	m.stats.Prewarms++
 	keep := e.keep
 	if keep == 0 {

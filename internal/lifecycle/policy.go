@@ -1,12 +1,10 @@
 package lifecycle
 
 import (
-	"fmt"
 	"math/bits"
-	"sort"
-	"strings"
 	"time"
 
+	"github.com/serverless-sched/sfs/internal/registry"
 	"github.com/serverless-sched/sfs/internal/simtime"
 )
 
@@ -292,37 +290,30 @@ type PolicyConfig struct {
 	Seed uint64
 }
 
-// constructors maps canonical names to policy constructors, the third
-// name → constructor registry alongside internal/schedulers and
-// internal/cluster, so CLIs select keep-alive policies by flag without
-// the recognized set drifting between tools.
-var constructors = map[string]func(cfg PolicyConfig) Policy{
-	"NONE": func(PolicyConfig) Policy { return NewNone() },
-	"TTL":  func(cfg PolicyConfig) Policy { return NewFixedTTL(cfg.TTL) },
-	"LRU":  func(PolicyConfig) Policy { return NewLRU() },
-	"HIST": func(cfg PolicyConfig) Policy { return NewHistogram(cfg.TTL) },
-}
-
-// names in presentation order.
-var names = []string{"NONE", "TTL", "LRU", "HIST"}
+// reg maps canonical names to policy constructors in presentation
+// order, the third registry on the shared internal/registry helper
+// alongside internal/schedulers and internal/cluster, so CLIs select
+// keep-alive policies by flag without the recognized set drifting
+// between tools.
+var reg = registry.New[func(cfg PolicyConfig) Policy]("keep-alive policy").
+	Add("NONE", func(PolicyConfig) Policy { return NewNone() }).
+	Add("TTL", func(cfg PolicyConfig) Policy { return NewFixedTTL(cfg.TTL) }).
+	Add("LRU", func(PolicyConfig) Policy { return NewLRU() }).
+	Add("HIST", func(cfg PolicyConfig) Policy { return NewHistogram(cfg.TTL) })
 
 // PolicyNames returns the canonical keep-alive policy names NewPolicy
 // recognizes.
-func PolicyNames() []string { return append([]string(nil), names...) }
+func PolicyNames() []string { return reg.Names() }
 
 // NewPolicy constructs a keep-alive policy by case-insensitive name.
 func NewPolicy(name string, cfg PolicyConfig) (Policy, error) {
-	mk, ok := constructors[strings.ToUpper(name)]
-	if !ok {
-		return nil, fmt.Errorf("unknown keep-alive policy %q (want one of %s)", name, strings.Join(names, ", "))
+	mk, err := reg.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return mk(cfg), nil
 }
 
 // sortedPolicyNames is used by tests to compare registries without
 // caring about presentation order.
-func sortedPolicyNames() []string {
-	out := PolicyNames()
-	sort.Strings(out)
-	return out
-}
+func sortedPolicyNames() []string { return reg.SortedNames() }

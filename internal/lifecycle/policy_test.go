@@ -6,25 +6,18 @@ import (
 	"time"
 )
 
-// TestPolicyNamesInSync: PolicyNames() and the constructor map must
-// cover exactly the same policies, in both directions.
+// TestPolicyNamesInSync: every presented name must be unique and
+// resolvable to a constructor. (The shared registry helper enforces
+// name↔constructor sync structurally; this pins the public surface.)
 func TestPolicyNamesInSync(t *testing.T) {
-	if len(names) != len(constructors) {
-		t.Fatalf("names has %d entries, constructors %d", len(names), len(constructors))
-	}
 	seen := map[string]bool{}
-	for _, n := range names {
-		if _, ok := constructors[n]; !ok {
-			t.Errorf("name %s has no constructor", n)
-		}
+	for _, n := range PolicyNames() {
 		if seen[n] {
 			t.Errorf("duplicate name %s", n)
 		}
 		seen[n] = true
-	}
-	for n := range constructors {
-		if !seen[n] {
-			t.Errorf("constructor %s missing from names", n)
+		if _, err := NewPolicy(n, PolicyConfig{}); err != nil {
+			t.Errorf("name %s has no constructor: %v", n, err)
 		}
 	}
 }

@@ -2,8 +2,8 @@ package lifecycle
 
 import (
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/host"
 	"github.com/serverless-sched/sfs/internal/simtime"
-	"github.com/serverless-sched/sfs/internal/task"
 	"github.com/serverless-sched/sfs/internal/trace"
 )
 
@@ -12,66 +12,16 @@ import (
 // acquires its container at its arrival instant (a cold start shifts
 // the engine-visible arrival by the sampled latency, so the task
 // becomes runnable only once its sandbox is up), and containers return
-// to the warm pool the instant their invocation finishes — engine
-// events fire before same-instant arrivals, exactly as the cluster
-// loop orders them, so same-seed replays are byte-identical.
+// to the warm pool the instant their invocation finishes.
 //
-// Run installs the engine's tracer to observe completions; the engine
-// must be fresh (no tasks submitted, no tracer installed). Turnarounds
-// measured afterwards are end-to-end: the original arrivals are
-// restored, so cold-start latency counts against the request.
+// Run is a stage configuration of the unified host runtime
+// (internal/host): the runtime's Drive loop supplies the event
+// ordering — engine events before same-instant arrivals, exactly as
+// the cluster loop orders them — so same-seed replays are
+// byte-identical. The engine must be fresh (no tasks submitted, no
+// tracer installed). Turnarounds measured afterwards are end-to-end:
+// the original arrivals are restored, so cold-start latency counts
+// against the request.
 func Run(src trace.Source, mgr *Manager, eng *cpusim.Engine) (simtime.Time, error) {
-	owner := map[*task.Task]*Container{}
-	orig := map[*task.Task]simtime.Time{}
-	var tasks []*task.Task
-	eng.SetTracer(func(ev cpusim.TraceEvent) {
-		if ev.Kind != cpusim.TraceFinish {
-			return
-		}
-		if c := owner[ev.Task]; c != nil {
-			mgr.Release(ev.At, c)
-			delete(owner, ev.Task)
-		}
-	})
-
-	next, more := src.Next()
-	for {
-		// The engine's earliest event, but only while it has unfinished
-		// work: idle engines may hold re-arming timer events (the SFS
-		// monitor) that would spin forever.
-		evT := simtime.Infinity
-		if eng.Pending() > 0 {
-			evT = eng.NextEventTime()
-		}
-		arrT := simtime.Infinity
-		if more {
-			arrT = next.Arrival
-		}
-		if evT == simtime.Infinity && arrT == simtime.Infinity {
-			break
-		}
-		if evT <= arrT {
-			// Completions free containers the next arrival can reuse.
-			eng.StepEvent()
-			continue
-		}
-		delay, c := mgr.Acquire(arrT, next.App)
-		orig[next] = next.Arrival
-		tasks = append(tasks, next)
-		owner[next] = c
-		if delay > 0 {
-			next.Arrival += delay
-		}
-		eng.Submit(next)
-		next, more = src.Next()
-	}
-	if err := trace.Err(src); err != nil {
-		return eng.Now(), err
-	}
-	// Restore end-to-end arrivals: turnaround and RTE must charge the
-	// cold start to the request, not hide it.
-	for _, t := range tasks {
-		t.Arrival = orig[t]
-	}
-	return eng.Now(), nil
+	return host.New(eng, NewHostStage(mgr)).Drive(src)
 }

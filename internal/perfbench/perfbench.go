@@ -32,6 +32,7 @@ import (
 	"github.com/serverless-sched/sfs/internal/cpusim"
 	"github.com/serverless-sched/sfs/internal/dist"
 	"github.com/serverless-sched/sfs/internal/experiments"
+	"github.com/serverless-sched/sfs/internal/lifecycle"
 	"github.com/serverless-sched/sfs/internal/metrics"
 	"github.com/serverless-sched/sfs/internal/sched"
 	"github.com/serverless-sched/sfs/internal/trace"
@@ -52,6 +53,7 @@ func GatedBenchmarks() []string {
 		"trace-binary-decode",
 		"trace-binary-encode",
 		"predicted-dispatch",
+		"host-pipeline",
 	}
 }
 
@@ -329,6 +331,40 @@ func Scenarios(quick bool, seed uint64) []Scenario {
 						N: n, Cores: hosts * cores, Load: 1.0, Seed: seed,
 					})
 					if _, err := cl.Run(src); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tasks/s")
+			},
+		},
+		{
+			// One op = a standalone run through the unified host-runtime
+			// core (internal/host) with a lifecycle stage attached: a
+			// warm-pool acquire hook before every submit, a release hook
+			// on every finish, and the runtime's single (time, seq) hook
+			// queue ordering the loop. This is the stage-pipeline
+			// overhead the event-loop unification must keep flat — the
+			// gate catches a pipeline that starts allocating or
+			// dispatching per event.
+			Name: "host-pipeline",
+			Bench: func(b *testing.B) {
+				n := size(quick, 4000)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p, err := lifecycle.NewPolicy("TTL", lifecycle.PolicyConfig{TTL: time.Minute})
+					if err != nil {
+						b.Fatal(err)
+					}
+					mgr, err := lifecycle.New(lifecycle.Config{Policy: p, Seed: seed})
+					if err != nil {
+						b.Fatal(err)
+					}
+					eng := cpusim.NewEngine(cpusim.Config{Cores: 16, Deadline: 1000 * time.Hour},
+						core.New(core.DefaultConfig()))
+					src := workload.AzureSampledStream(workload.AzureSampledSpec{
+						N: n, Cores: 16, Load: 1.0, Seed: seed,
+					})
+					if _, err := lifecycle.Run(src, mgr, eng); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -1,0 +1,72 @@
+// Package registry is the one generic name → constructor table behind
+// every by-flag selection surface in the repo: schedulers
+// (internal/schedulers), dispatch policies (internal/cluster),
+// keep-alive policies (internal/lifecycle), workflow families
+// (internal/chain), and scenario families (internal/workload). Each of
+// those packages used to carry its own copy-pasted map + names slice +
+// lookup; this helper gives them shared case-insensitive lookup and
+// one unknown-name error shape, so the behavior cannot drift between
+// registries (and docs_test.go's README/GUIDE sync checks cover them
+// all the same way).
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry maps canonical names to constructors of type T (typically a
+// factory func). Names are matched case-insensitively; the
+// presentation order is the registration order.
+type Registry[T any] struct {
+	kind    string
+	names   []string
+	entries map[string]T
+}
+
+// New creates an empty registry. kind is the human-readable noun used
+// in unknown-name errors ("scheduler", "dispatch policy", …).
+func New[T any](kind string) *Registry[T] {
+	return &Registry[T]{kind: kind, entries: map[string]T{}}
+}
+
+// Add registers a constructor under its canonical (upper-case) name
+// and returns the registry for chained declarations. It panics on a
+// duplicate or non-canonical name: registries are package-level
+// literals, so that is a programming error, not an input error.
+func (r *Registry[T]) Add(name string, ctor T) *Registry[T] {
+	if name != strings.ToUpper(name) {
+		panic(fmt.Sprintf("registry: %s name %q is not canonical upper-case", r.kind, name))
+	}
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("registry: duplicate %s name %q", r.kind, name))
+	}
+	r.entries[name] = ctor
+	r.names = append(r.names, name)
+	return r
+}
+
+// Names returns the canonical names in presentation (registration)
+// order, as a fresh slice.
+func (r *Registry[T]) Names() []string { return append([]string(nil), r.names...) }
+
+// SortedNames returns the canonical names sorted, for comparing
+// registries without caring about presentation order.
+func (r *Registry[T]) SortedNames() []string {
+	out := r.Names()
+	sort.Strings(out)
+	return out
+}
+
+// Lookup resolves a case-insensitive name to its constructor. The
+// unknown-name error lists every recognized name in presentation
+// order.
+func (r *Registry[T]) Lookup(name string) (T, error) {
+	v, ok := r.entries[strings.ToUpper(name)]
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("unknown %s %q (want one of %s)", r.kind, name, strings.Join(r.names, ", "))
+	}
+	return v, nil
+}

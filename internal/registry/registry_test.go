@@ -1,0 +1,61 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupIsCaseInsensitive(t *testing.T) {
+	r := New[func() int]("widget").
+		Add("ALPHA", func() int { return 1 }).
+		Add("BETA", func() int { return 2 })
+	for _, name := range []string{"ALPHA", "alpha", "Alpha"} {
+		mk, err := r.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if got := mk(); got != 1 {
+			t.Fatalf("Lookup(%q) resolved to constructor returning %d, want 1", name, got)
+		}
+	}
+}
+
+func TestUnknownNameErrorShape(t *testing.T) {
+	r := New[int]("widget").Add("ALPHA", 1).Add("BETA", 2)
+	_, err := r.Lookup("nope")
+	if err == nil {
+		t.Fatal("Lookup of unknown name succeeded")
+	}
+	want := `unknown widget "nope" (want one of ALPHA, BETA)`
+	if err.Error() != want {
+		t.Fatalf("error %q, want %q", err.Error(), want)
+	}
+}
+
+func TestNamesOrderAndIsolation(t *testing.T) {
+	r := New[int]("widget").Add("ZULU", 0).Add("ALPHA", 1)
+	if got := strings.Join(r.Names(), ","); got != "ZULU,ALPHA" {
+		t.Fatalf("Names() = %s, want registration order ZULU,ALPHA", got)
+	}
+	if got := strings.Join(r.SortedNames(), ","); got != "ALPHA,ZULU" {
+		t.Fatalf("SortedNames() = %s, want ALPHA,ZULU", got)
+	}
+	r.Names()[0] = "MUTATED"
+	if r.names[0] != "ZULU" {
+		t.Fatal("Names() exposed internal slice")
+	}
+}
+
+func TestAddPanicsOnDuplicateAndNonCanonical(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate", func() { New[int]("widget").Add("A", 1).Add("A", 2) })
+	mustPanic("lower-case", func() { New[int]("widget").Add("lower", 1) })
+}

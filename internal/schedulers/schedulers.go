@@ -7,40 +7,35 @@
 package schedulers
 
 import (
-	"fmt"
-	"strings"
-
 	"github.com/serverless-sched/sfs/internal/core"
 	"github.com/serverless-sched/sfs/internal/cpusim"
+	"github.com/serverless-sched/sfs/internal/registry"
 	"github.com/serverless-sched/sfs/internal/sched"
 )
 
-// constructors maps canonical names to default-config constructors.
-var constructors = map[string]func() cpusim.Scheduler{
-	"SFS":          func() cpusim.Scheduler { return core.New(core.DefaultConfig()) },
-	"CFS":          func() cpusim.Scheduler { return sched.NewCFS(sched.CFSConfig{}) },
-	"EEVDF":        func() cpusim.Scheduler { return sched.NewEEVDF(sched.EEVDFConfig{}) },
-	"FIFO":         func() cpusim.Scheduler { return sched.NewFIFO() },
-	"RR":           func() cpusim.Scheduler { return sched.NewRR(0) },
-	"SRTF":         func() cpusim.Scheduler { return sched.NewSRTF() },
-	"PSRTF":        func() cpusim.Scheduler { return sched.NewPSRTF(nil) },
-	"COREGRANULAR": func() cpusim.Scheduler { return sched.NewCoreGranular() },
-	"LOTTERY":      func() cpusim.Scheduler { return sched.NewLottery(0, 1) },
-}
-
-// names in presentation order.
-var names = []string{"SFS", "CFS", "EEVDF", "FIFO", "RR", "SRTF", "PSRTF", "COREGRANULAR", "LOTTERY"}
+// reg maps canonical names to default-config constructors, in
+// presentation order.
+var reg = registry.New[func() cpusim.Scheduler]("scheduler").
+	Add("SFS", func() cpusim.Scheduler { return core.New(core.DefaultConfig()) }).
+	Add("CFS", func() cpusim.Scheduler { return sched.NewCFS(sched.CFSConfig{}) }).
+	Add("EEVDF", func() cpusim.Scheduler { return sched.NewEEVDF(sched.EEVDFConfig{}) }).
+	Add("FIFO", func() cpusim.Scheduler { return sched.NewFIFO() }).
+	Add("RR", func() cpusim.Scheduler { return sched.NewRR(0) }).
+	Add("SRTF", func() cpusim.Scheduler { return sched.NewSRTF() }).
+	Add("PSRTF", func() cpusim.Scheduler { return sched.NewPSRTF(nil) }).
+	Add("COREGRANULAR", func() cpusim.Scheduler { return sched.NewCoreGranular() }).
+	Add("LOTTERY", func() cpusim.Scheduler { return sched.NewLottery(0, 1) })
 
 // Names returns the canonical scheduler names New recognizes.
-func Names() []string { return append([]string(nil), names...) }
+func Names() []string { return reg.Names() }
 
 // New constructs a scheduler by case-insensitive name with its default
 // configuration. Callers needing tuned configurations (e.g. sfs-sim's
 // SFS knobs) construct those directly and fall back here for the rest.
 func New(name string) (cpusim.Scheduler, error) {
-	mk, ok := constructors[strings.ToUpper(name)]
-	if !ok {
-		return nil, fmt.Errorf("unknown scheduler %q (want one of %s)", name, strings.Join(names, ", "))
+	mk, err := reg.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return mk(), nil
 }

@@ -5,27 +5,21 @@ import (
 	"testing"
 )
 
-// TestNamesInSync: Names() and the constructor map must cover exactly
-// the same schedulers, in both directions.
+// TestNamesInSync: every presented name must be canonical, unique, and
+// resolvable to a constructor. (The shared registry helper enforces
+// name↔constructor sync structurally; this pins the public surface.)
 func TestNamesInSync(t *testing.T) {
-	if len(names) != len(constructors) {
-		t.Fatalf("names has %d entries, constructors %d", len(names), len(constructors))
-	}
-	for _, n := range names {
-		if _, ok := constructors[n]; !ok {
-			t.Errorf("name %s has no constructor", n)
-		}
-	}
 	seen := map[string]bool{}
-	for _, n := range names {
+	for _, n := range Names() {
+		if n != strings.ToUpper(n) {
+			t.Errorf("name %s is not canonical upper-case", n)
+		}
 		if seen[n] {
 			t.Errorf("duplicate name %s", n)
 		}
 		seen[n] = true
-	}
-	for n := range constructors {
-		if !seen[n] {
-			t.Errorf("constructor %s missing from names", n)
+		if _, err := New(n); err != nil {
+			t.Errorf("name %s has no constructor: %v", n, err)
 		}
 	}
 }

@@ -1,12 +1,10 @@
 package workload
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"time"
 
 	"github.com/serverless-sched/sfs/internal/queueing"
+	"github.com/serverless-sched/sfs/internal/registry"
 	"github.com/serverless-sched/sfs/internal/trace"
 )
 
@@ -31,34 +29,31 @@ type FamilyConfig struct {
 	Seed uint64
 }
 
-// constructors maps canonical names to scenario-family constructors —
-// the fifth name → constructor registry alongside internal/schedulers,
+// reg maps canonical names to scenario-family constructors in
+// presentation order — the fifth registry on the shared
+// internal/registry helper alongside internal/schedulers,
 // internal/cluster, internal/lifecycle, and internal/chain, so the
 // CLIs and experiments select workloads by flag without the recognized
 // set drifting between tools.
-var constructors = map[string]func(cfg FamilyConfig) trace.Source{
-	"POISSON":     poissonFamily,
-	"AZURE":       azureFamily,
-	"SYNTH":       synthFamily,
-	"DIURNAL":     diurnalFamily,
-	"FLASHCROWD":  flashCrowdFamily,
-	"MULTITENANT": multiTenantFamily,
-	"TRIGGER":     triggerFamily,
-}
-
-// names in presentation order.
-var names = []string{"POISSON", "AZURE", "SYNTH", "DIURNAL", "FLASHCROWD", "MULTITENANT", "TRIGGER"}
+var reg = registry.New[func(cfg FamilyConfig) trace.Source]("scenario family").
+	Add("POISSON", poissonFamily).
+	Add("AZURE", azureFamily).
+	Add("SYNTH", synthFamily).
+	Add("DIURNAL", diurnalFamily).
+	Add("FLASHCROWD", flashCrowdFamily).
+	Add("MULTITENANT", multiTenantFamily).
+	Add("TRIGGER", triggerFamily)
 
 // FamilyNames returns the canonical scenario family names NewFamily
 // recognizes.
-func FamilyNames() []string { return append([]string(nil), names...) }
+func FamilyNames() []string { return reg.Names() }
 
 // NewFamily constructs a scenario family's invocation stream by
 // case-insensitive name. Same config → byte-identical stream.
 func NewFamily(name string, cfg FamilyConfig) (trace.Source, error) {
-	mk, ok := constructors[strings.ToUpper(name)]
-	if !ok {
-		return nil, fmt.Errorf("unknown scenario family %q (want one of %s)", name, strings.Join(names, ", "))
+	mk, err := reg.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return mk(cfg), nil
 }
@@ -93,11 +88,7 @@ func NewFamilyWorkload(name string, cfg FamilyConfig) (*Workload, error) {
 
 // sortedFamilyNames is used by tests to compare registries without
 // caring about presentation order.
-func sortedFamilyNames() []string {
-	out := FamilyNames()
-	sort.Strings(out)
-	return out
-}
+func sortedFamilyNames() []string { return reg.SortedNames() }
 
 // poissonFamily is the paper's baseline: Table I durations, Poisson
 // arrivals calibrated to the offered load.
